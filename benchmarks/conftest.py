@@ -1,0 +1,39 @@
+"""Shared state for the benchmark suite.
+
+Benchmarks run at the ``small`` experiment scale so the whole suite
+finishes in about a minute; the ``default``-scale numbers recorded in
+EXPERIMENTS.md come from ``python -m repro --scale default suite``.
+
+The context (dataset + split + fitted models) is built once per session;
+each bench file then measures its experiment's computational kernel and, as
+a side effect, prints the regenerated table/series with ``--benchmark-only
+-s`` (the render also lands in the benchmark's ``extra_info``).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.experiments import ExperimentContext  # noqa: E402
+from repro.experiments.config import config_for_scale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The small-scale experiment context, shared by every bench."""
+    return ExperimentContext(config_for_scale("small"))
+
+
+@pytest.fixture(scope="session")
+def fitted_bpr(context):
+    return context.model("bpr")
+
+
+@pytest.fixture(scope="session")
+def fitted_closest(context):
+    return context.model("closest")

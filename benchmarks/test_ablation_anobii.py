@@ -1,0 +1,33 @@
+"""Design-choice ablation bench: what the Anobii integration contributes.
+
+Separates the paper's two claimed benefits — extra readings for CF and
+richer metadata for CB — and measures the BCT-only training kernel.
+"""
+
+from dataclasses import replace
+
+from repro.core.bpr import BPR
+from repro.experiments import ablations
+
+
+def test_anobii_ablation(benchmark, context):
+    result = ablations.run_anobii_ablation(context)
+    benchmark.extra_info["table"] = result.render()
+    print("\n" + result.render())
+
+    rows = result.rows
+    assert (
+        rows["BPR, merged readings"].urr > rows["BPR, BCT readings only"].urr
+    ), "extra Anobii readings must help CF"
+    assert (
+        rows["Closest, anobii metadata (author+genres)"].urr
+        >= rows["Closest, BCT metadata only (title+author)"].urr
+    ), "Anobii metadata must help CB"
+
+    dataset, split = context.bct_only
+    config = replace(context.config.bpr, epochs=2)
+
+    def train_bct_only():
+        return BPR(config).fit(split.train, dataset)
+
+    benchmark.pedantic(train_bct_only, rounds=2, iterations=1)

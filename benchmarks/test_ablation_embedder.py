@@ -1,0 +1,30 @@
+"""Design-choice ablation bench: TF-IDF weighting in the SBERT substitute.
+
+Regenerates the weighted-vs-unweighted comparison and measures the
+catalogue encoding kernel (fit + encode every metadata summary).
+"""
+
+from repro.experiments import ablations
+from repro.text.embedder import HashedTfidfEmbedder
+from repro.text.summary import MetadataSummaryBuilder
+
+
+def test_embedder_ablation(benchmark, context):
+    result = ablations.run_embedder_ablation(context)
+    benchmark.extra_info["table"] = result.render()
+    print("\n" + result.render())
+
+    assert result.rows["hashed tf-idf (default)"].urr > 0
+
+    summaries = list(
+        MetadataSummaryBuilder(("author", "genres"))
+        .build_all(context.merged)
+        .values()
+    )
+
+    def encode_catalogue():
+        embedder = HashedTfidfEmbedder()
+        embedder.fit(summaries)
+        return embedder.encode(summaries)
+
+    benchmark(encode_catalogue)

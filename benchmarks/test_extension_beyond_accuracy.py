@@ -1,0 +1,24 @@
+"""Extension bench: beyond-accuracy metrics (the paper's future work).
+
+Regenerates the diversity/novelty/serendipity/coverage table and measures
+the metric-computation kernel for the fitted BPR model.
+"""
+
+from repro.eval.beyond_accuracy import evaluate_beyond_accuracy
+from repro.experiments import extensions
+
+
+def test_beyond_accuracy(benchmark, context, fitted_bpr, fitted_closest):
+    result = extensions.run_beyond_accuracy(context)
+    benchmark.extra_info["table"] = result.render()
+    print("\n" + result.render())
+
+    rows = result.rows
+    assert rows["BPR"].coverage > rows["Most Read Items"].coverage
+    assert rows["BPR"].novelty > rows["Most Read Items"].novelty
+
+    benchmark(
+        evaluate_beyond_accuracy,
+        fitted_bpr, context.split, fitted_closest.similarity,
+        context.config.k,
+    )

@@ -1,0 +1,23 @@
+"""Extension bench: the sequential Markov recommender (paper future work).
+
+Regenerates the comparison table and measures the chain's training kernel
+(transition counting + normalisation over all reading sequences).
+"""
+
+from repro.core.sequential import SequentialMarkov
+from repro.experiments import extensions
+
+
+def test_sequential_extension(benchmark, context):
+    result = extensions.run_sequential(context)
+    benchmark.extra_info["table"] = result.render()
+    print("\n" + result.render())
+
+    rows = result.rows
+    # The chain must be a credible system: same league as the CB model.
+    assert rows["Sequential Markov"].urr > 0.5 * rows["Closest Items"].urr
+
+    def train_chain():
+        return SequentialMarkov().fit(context.split.train, context.merged)
+
+    benchmark(train_chain)

@@ -1,0 +1,15 @@
+"""Bench for Fig. 1: CDFs of readings per user and per book."""
+
+from repro.experiments import fig1
+from repro.pipeline import stats
+
+
+def test_fig1(benchmark, context):
+    result = fig1.run(context)
+    benchmark.extra_info["table"] = result.render()
+    print("\n" + result.render())
+
+    assert result.per_user.min() >= 1
+    assert result.per_book.max() > result.per_book.min()
+
+    benchmark(stats.readings_cdfs, context.merged)

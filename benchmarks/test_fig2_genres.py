@@ -1,0 +1,18 @@
+"""Bench for Fig. 2: genre shares of readings (and dominance statistic)."""
+
+import pytest
+
+from repro.experiments import fig2
+from repro.pipeline import stats
+
+
+def test_fig2(benchmark, context):
+    result = fig2.run(context)
+    benchmark.extra_info["table"] = result.render()
+    print("\n" + result.render())
+
+    assert sum(result.shares.values()) == pytest.approx(1.0)
+    ordered = result.sorted_shares()
+    assert ordered[0][1] > 0.25  # the Comics family leads
+
+    benchmark(stats.genre_reading_shares, context.merged)

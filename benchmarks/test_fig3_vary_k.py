@@ -1,0 +1,27 @@
+"""Bench for Fig. 3: KPIs versus the number of recommended books k.
+
+The kernel measured is the multi-k evaluation pass: one scoring + ranking
+sweep reads off URR/NRR/P/R for every k simultaneously.
+"""
+
+from repro.eval.evaluator import evaluate_model
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, context, fitted_bpr):
+    result = fig3.run(context, ks=(1, 2, 5, 10, 15, 20, 30, 40, 50))
+    benchmark.extra_info["series"] = result.render()
+    print("\n" + result.render())
+
+    for model in ("Random Items", "Closest Items", "BPR"):
+        urr = result.metric_series(model, "urr")
+        assert urr == sorted(urr), f"URR must grow with k for {model}"
+        recall = result.metric_series(model, "recall")
+        assert recall == sorted(recall)
+    bpr_p = result.metric_series("BPR", "precision")
+    assert bpr_p[-1] < bpr_p[0], "precision must fall with k"
+
+    benchmark(
+        evaluate_model, fitted_bpr, context.split,
+        ks=(1, 2, 5, 10, 15, 20, 30, 40, 50),
+    )

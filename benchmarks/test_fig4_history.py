@@ -1,0 +1,21 @@
+"""Bench for Fig. 4: NRR by training-history size."""
+
+from repro.eval.groups import evaluate_by_history_size
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, context):
+    result = fig4.run(context)
+    benchmark.extra_info["series"] = result.render()
+    print("\n" + result.render())
+
+    cb = result.groups["Closest Items"].nrr
+    bpr = result.groups["BPR"].nrr
+    assert cb[-1] > cb[0], "CB must gain with history"
+    # The paper's headline: CB's relative growth exceeds BPR's.
+    assert cb[-1] / max(cb[0], 1e-9) > bpr[-1] / max(bpr[0], 1e-9)
+
+    evaluation = context.evaluation("bpr")
+    benchmark(
+        evaluate_by_history_size, evaluation, context.config.k, None, 4
+    )

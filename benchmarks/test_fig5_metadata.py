@@ -1,0 +1,28 @@
+"""Bench for Fig. 5: KPIs per metadata-summary composition.
+
+The kernel measured is one full content-based build: summary construction,
+embedder fit, catalogue encoding, similarity matrix (the per-composition
+cost of the paper's ablation).
+"""
+
+from repro.core.closest_items import ClosestItems
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, context):
+    result = fig5.run(context)
+    benchmark.extra_info["table"] = result.render()
+    print("\n" + result.render())
+
+    title = result.rows[("title",)]
+    combo = result.rows[("author", "genres")]
+    assert combo.urr > 2 * title.urr, "author+genres must crush title-only"
+    best = result.best()
+    assert combo.urr >= result.rows[best].urr * 0.85
+
+    def build_cb():
+        model = ClosestItems(fields=("author", "genres"))
+        model.fit(context.split.train, context.merged)
+        return model
+
+    benchmark(build_cb)

@@ -1,0 +1,39 @@
+"""Bench for the BPR hyper-parameter grid search (Section 6 ¶1).
+
+The kernel measured is one grid cell: fit BPR with a candidate
+configuration and score URR on the BCT validation holdout.
+"""
+
+from dataclasses import replace
+
+from repro.core.bpr import BPR
+from repro.eval.evaluator import fit_and_evaluate
+from repro.experiments import gridsearch
+
+
+def test_gridsearch(benchmark, context):
+    result = gridsearch.run(context)
+    benchmark.extra_info["table"] = result.render()
+    print("\n" + result.render())
+
+    best = result.grid.best
+    assert best.val_urr == max(p.val_urr for p in result.grid.points)
+    # The paper's winning factor count: 20 must be at least competitive
+    # with the small grid's winner on validation URR.
+    by_factors = {}
+    for point in result.grid.points:
+        by_factors.setdefault(point.n_factors, []).append(point.val_urr)
+    assert max(by_factors[20]) >= 0.8 * best.val_urr
+
+    config = replace(
+        context.config.bpr, n_factors=best.n_factors,
+        learning_rate=best.learning_rate, epochs=2,
+    )
+
+    def one_cell():
+        return fit_and_evaluate(
+            BPR(config), context.split, context.merged,
+            ks=(context.config.k,), holdout="val",
+        )
+
+    benchmark.pedantic(one_cell, rounds=2, iterations=1)

@@ -1,0 +1,24 @@
+"""Bench for Table 1: KPI evaluation of all five systems at k = 20.
+
+Regenerates the table and measures the evaluation kernel (full-ranking
+scoring of every BCT test user for the fitted BPR model).
+"""
+
+from repro.eval.evaluator import evaluate_model
+from repro.experiments import table1
+
+
+def test_table1(benchmark, context, fitted_bpr):
+    result = table1.run(context)
+    benchmark.extra_info["table"] = result.render()
+    print("\n" + result.render())
+
+    rows = result.rows
+    floor = max(rows["Random Items"].urr, rows["Most Read Items"].urr)
+    assert rows["BPR"].urr > floor
+    assert rows["Closest Items"].urr > floor
+    assert rows["BPR (BCT only)"].urr < rows["BPR"].urr
+
+    benchmark(
+        evaluate_model, fitted_bpr, context.split, ks=(context.config.k,)
+    )

@@ -1,0 +1,37 @@
+"""Bench for Table 2: training and recommendation wall-clock time.
+
+Two kernels: one BPR training run (the paper's 30.55 s entry, at bench
+scale) and single-user recommendation latency (the paper's 0.04-0.05 s
+entries).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.bpr import BPR
+from repro.experiments import table2
+
+
+def test_table2_report(benchmark, context):
+    result = table2.run(context)
+    benchmark.extra_info["table"] = result.render()
+    print("\n" + result.render())
+
+    train_s, rec_s = result.rows["BPR"]
+    assert train_s is not None and train_s > 0
+    assert rec_s < 1.0, "a recommendation request must be interactive"
+
+    user = int(np.asarray(sorted(context.split.test_items))[0])
+    model = context.model("bpr")
+    benchmark(model.recommend, user, context.config.k)
+
+
+def test_bpr_training_time(benchmark, context):
+    """The Table-2 training entry as its own benchmark (fewer rounds)."""
+    config = replace(context.config.bpr, epochs=2)
+
+    def train():
+        return BPR(config).fit(context.split.train, context.merged)
+
+    benchmark.pedantic(train, rounds=2, iterations=1)

@@ -1,0 +1,14 @@
+"""Repo-level pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run against
+the working tree even without an editable install (the sandbox used for
+development has no network, which blocks ``pip install -e .`` from fetching
+the ``wheel`` build dependency).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

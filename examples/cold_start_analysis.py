@@ -1,0 +1,55 @@
+"""History-size analysis: who should get CB vs CF recommendations? (Fig. 4)
+
+The paper's Fig. 4 shows that collaborative filtering wins for light
+readers while the content-based model catches up — and overtakes — for
+devoted readers. This example reproduces that analysis and then
+demonstrates the natural operational consequence the paper leaves as future
+work: a hybrid that blends both models.
+
+Run with:  python examples/cold_start_analysis.py
+"""
+
+from repro.core import BPR, ClosestItems, HybridRecommender
+from repro.eval import evaluate_model, fit_and_evaluate
+from repro.eval.groups import equal_population_bins, evaluate_by_history_size
+from repro.experiments import ExperimentContext
+from repro.experiments.config import config_for_scale
+
+
+def main() -> None:
+    context = ExperimentContext(config_for_scale("small"))
+    split, merged = context.split, context.merged
+    k = context.config.k
+
+    print("evaluating by training-history size (Fig. 4) ...\n")
+    bpr_eval = context.evaluation("bpr")
+    cb_eval = context.evaluation("closest")
+    bins = equal_population_bins(bpr_eval.per_user.train_sizes, 4)
+    header = "  ".join(f"{b.label:>8s}" for b in bins)
+    print(f"{'NRR by history bin':28s}  {header}")
+    for name, result in (("Closest Items", cb_eval), ("BPR", bpr_eval)):
+        groups = evaluate_by_history_size(result, k, bins=bins)
+        cells = "  ".join(f"{v:8.3f}" for v in groups.nrr)
+        print(f"{name:28s}  {cells}")
+
+    print("\nblending both (extension beyond the paper) ...")
+    for weight in (0.0, 0.25, 0.5, 0.75, 1.0):
+        hybrid = HybridRecommender(
+            ClosestItems(fields=context.config.closest_fields),
+            BPR(context.config.bpr),
+            weight=weight,
+        )
+        result = fit_and_evaluate(hybrid, split, merged, ks=(k,))
+        kpi = result.report(k)
+        print(
+            f"  CB weight {weight:.2f}: URR={kpi.urr:.3f} NRR={kpi.nrr:.3f}"
+        )
+    print(
+        "\nreading: weight 0.0 is pure BPR, 1.0 pure content-based; the\n"
+        "best blend typically sits in between, confirming the models catch\n"
+        "complementary signals (community taste vs author loyalty)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — reproduction of *Recommendation Systems in Libraries: an
+Application with Heterogeneous Data Sources* (EDBT 2023).
+
+The package rebuilds the paper's full system:
+
+- :mod:`repro.tables` — a small columnar table engine (the relational
+  substrate of the data pipeline);
+- :mod:`repro.datasets` — the BCT and Anobii source schemas plus a
+  calibrated synthetic world standing in for the proprietary dumps;
+- :mod:`repro.pipeline` — the Section-3 integration pipeline (filters,
+  genre aggregation, catalogue merge, activity floors);
+- :mod:`repro.text` — the SBERT-substitute sentence embedding stack;
+- :mod:`repro.core` — the recommenders: Random, Most Read, Closest Items
+  (content-based) and BPR with WARP sampling (collaborative filtering);
+- :mod:`repro.eval` — the Section-5 protocol: per-user temporal splits and
+  the URR/NRR/P/R/FR metrics;
+- :mod:`repro.experiments` — one module per table/figure of the paper;
+- :mod:`repro.app` — the Reading&Machine serving path and persistence.
+
+Quickstart::
+
+    from repro.experiments import ExperimentContext
+    from repro.experiments.config import config_for_scale
+    from repro.experiments.registry import run_experiment
+
+    context = ExperimentContext(config_for_scale("small"))
+    print(run_experiment("table1", context).render())
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

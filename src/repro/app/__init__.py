@@ -1,0 +1,22 @@
+"""Application layer: the Reading&Machine serving path.
+
+:class:`~repro.app.service.RecommendationService` wraps a fitted
+recommender behind the request/response interface the paper's VR GUI
+calls: resolve the user, produce the top-k unread books with their titles
+and authors, track per-request latency. :mod:`~repro.app.persistence`
+saves and loads fitted models and merged datasets so the service can start
+without retraining.
+"""
+
+from repro.app.service import RecommendationRequest, RecommendationService, ServedBook
+from repro.app.persistence import load_bpr, load_dataset, save_bpr, save_dataset
+
+__all__ = [
+    "RecommendationRequest",
+    "RecommendationService",
+    "ServedBook",
+    "load_bpr",
+    "load_dataset",
+    "save_bpr",
+    "save_dataset",
+]

@@ -1,0 +1,105 @@
+"""Saving and loading artefacts: merged datasets and fitted BPR models.
+
+Datasets persist as a directory of typed CSV tables; BPR models as an
+``.npz`` of factor matrices plus indexer ids. This lets the deployed
+service (and the examples) start from disk instead of regenerating and
+refitting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bpr import BPR, BPRConfig
+from repro.core.interactions import Indexer, InteractionMatrix
+from repro.datasets.merged import MergedDataset
+from repro.errors import PersistenceError
+from repro.tables import read_csv, write_csv
+
+DATASET_FILES = ("books.csv", "readings.csv", "genres.csv")
+
+
+def save_dataset(dataset: MergedDataset, directory: str | Path) -> None:
+    """Write a merged dataset as three typed CSV files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_csv(dataset.books, directory / "books.csv")
+    write_csv(dataset.readings, directory / "readings.csv")
+    write_csv(dataset.genres, directory / "genres.csv")
+
+
+def load_dataset(directory: str | Path) -> MergedDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    for name in DATASET_FILES:
+        if not (directory / name).exists():
+            raise PersistenceError(
+                f"{directory} is not a saved dataset: missing {name}"
+            )
+    dataset = MergedDataset(
+        books=read_csv(directory / "books.csv"),
+        readings=read_csv(directory / "readings.csv"),
+        genres=read_csv(directory / "genres.csv"),
+    )
+    dataset.validate()
+    return dataset
+
+
+def save_bpr(model: BPR, train: InteractionMatrix, path: str | Path) -> None:
+    """Persist a fitted BPR model (factors + indexers + config)."""
+    path = Path(path)
+    config_json = json.dumps(asdict(model.config))
+    np.savez_compressed(
+        path,
+        user_factors=model.user_factors,
+        item_factors=model.item_factors,
+        user_ids=np.asarray(train.users.ids, dtype=object),
+        item_ids=np.asarray(train.items.ids, dtype=np.int64),
+        train_indptr=train.csr.indptr,
+        train_indices=train.csr.indices,
+        train_data=train.csr.data,
+        config=np.asarray([config_json], dtype=object),
+    )
+
+
+def load_bpr(path: str | Path) -> tuple[BPR, InteractionMatrix]:
+    """Load a model saved by :func:`save_bpr`, ready to serve."""
+    path = Path(path)
+    if not path.exists():
+        # numpy appends .npz when saving without a suffix.
+        candidate = path.with_suffix(path.suffix + ".npz")
+        if not candidate.exists():
+            raise PersistenceError(f"no saved model at {path}")
+        path = candidate
+    try:
+        archive = np.load(path, allow_pickle=True)
+        config = BPRConfig(**json.loads(str(archive["config"][0])))
+        model = BPR(config)
+        users = Indexer(str(u) for u in archive["user_ids"])
+        items = Indexer(int(i) for i in archive["item_ids"])
+        from scipy import sparse
+
+        csr = sparse.csr_matrix(
+            (
+                archive["train_data"],
+                archive["train_indices"],
+                archive["train_indptr"],
+            ),
+            shape=(len(users), len(items)),
+        )
+        train = InteractionMatrix(users, items, csr)
+        model._train = train
+        model._user_factors = archive["user_factors"]
+        model._item_factors = archive["item_factors"]
+    except (KeyError, ValueError, OSError) as exc:
+        raise PersistenceError(f"cannot load BPR model from {path}: {exc}") from exc
+    if model._user_factors.shape != (len(users), config.n_factors):
+        raise PersistenceError(
+            f"saved factors have shape {model._user_factors.shape}, expected "
+            f"({len(users)}, {config.n_factors})"
+        )
+    return model, train

@@ -1,0 +1,155 @@
+"""The recommendation service behind the Reading&Machine GUI.
+
+The paper's application shows each library user a list of k = 20 books
+("a good trade-off between the quality of recommendations and the
+prevention of users' choice overload"). This module provides that request
+path over any fitted :class:`~repro.core.base.Recommender`: user id in,
+book cards out, with latency accounting matching Table 2's methodology.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import Recommender
+from repro.core.interactions import InteractionMatrix
+from repro.core.most_read import MostReadItems
+from repro.datasets.merged import MergedDataset
+from repro.errors import ConfigurationError, UnknownUserError
+
+#: The paper's deployed list length.
+DEFAULT_K = 20
+
+
+@dataclass(frozen=True)
+class RecommendationRequest:
+    """One GUI request."""
+
+    user_id: str
+    k: int = DEFAULT_K
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+
+
+@dataclass(frozen=True)
+class ServedBook:
+    """One recommended book, as shown on a GUI card."""
+
+    book_id: int
+    title: str
+    author: str
+    rank: int
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate latency accounting (Table 2 semantics)."""
+
+    requests: int = 0
+    total_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.requests if self.requests else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.quantile(np.asarray(self.latencies), q))
+
+
+class RecommendationService:
+    """Serve top-k recommendations for library users.
+
+    Args:
+        model: a fitted recommender.
+        train: the interaction matrix the model was fitted on (provides the
+            user indexing).
+        dataset: the merged dataset (provides titles/authors for cards).
+        cold_start_fallback: optional fitted
+            :class:`~repro.core.most_read.MostReadItems`; when given,
+            unknown users receive the global top-k instead of an error.
+            (The paper leaves personalised cold-start to future work; a
+            popularity list is the standard deployed stopgap.)
+    """
+
+    def __init__(
+        self,
+        model: Recommender,
+        train: InteractionMatrix,
+        dataset: MergedDataset,
+        cold_start_fallback: "MostReadItems | None" = None,
+    ) -> None:
+        if not model.is_fitted:
+            raise ConfigurationError(
+                f"{model.name} must be fitted before serving"
+            )
+        if cold_start_fallback is not None and not cold_start_fallback.is_fitted:
+            raise ConfigurationError(
+                "the cold-start fallback must be fitted before serving"
+            )
+        self.model = model
+        self.train = train
+        self.dataset = dataset
+        self.cold_start_fallback = cold_start_fallback
+        self.stats = ServiceStats()
+        self._cards: dict[int, tuple[str, str]] = {}
+        books = dataset.books
+        for book_id, title, author in zip(
+            books["book_id"], books["title"], books["author"]
+        ):
+            self._cards[int(book_id)] = (str(title), str(author))
+
+    def known_user(self, user_id: str) -> bool:
+        return user_id in self.train.users
+
+    def recommend(self, request: RecommendationRequest) -> list[ServedBook]:
+        """Handle one request.
+
+        Unknown users raise :class:`UnknownUserError` unless a cold-start
+        fallback was configured, in which case they get the global most-read
+        list.
+        """
+        started = time.perf_counter()
+        if self.known_user(request.user_id):
+            user_index = self.train.users.index_of(request.user_id)
+            items = self.model.recommend(int(user_index), request.k)
+        elif self.cold_start_fallback is not None:
+            items = self.cold_start_fallback.top_items(request.k)
+        else:
+            raise UnknownUserError(request.user_id)
+        elapsed = time.perf_counter() - started
+        self.stats.requests += 1
+        self.stats.total_seconds += elapsed
+        self.stats.latencies.append(elapsed)
+        served = []
+        for rank, item_index in enumerate(items, start=1):
+            book_id = int(self.train.items.id_of(int(item_index)))
+            title, author = self._cards.get(book_id, ("(unknown)", "(unknown)"))
+            served.append(
+                ServedBook(book_id=book_id, title=title, author=author, rank=rank)
+            )
+        return served
+
+    def history(self, user_id: str) -> list[ServedBook]:
+        """The user's training history as cards (for the GUI's shelf view)."""
+        if not self.known_user(user_id):
+            raise UnknownUserError(user_id)
+        user_index = self.train.users.index_of(user_id)
+        cards = []
+        for position, item_index in enumerate(
+            self.train.user_items(int(user_index)), start=1
+        ):
+            book_id = int(self.train.items.id_of(int(item_index)))
+            title, author = self._cards.get(book_id, ("(unknown)", "(unknown)"))
+            cards.append(
+                ServedBook(book_id=book_id, title=title, author=author,
+                           rank=position)
+            )
+        return cards

@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiment <name>`` — run one paper experiment (table1, fig3, ...) and
+  print its table/series. ``--scale small|default|paper``, ``--seed N``.
+- ``suite`` — run every experiment at one scale and print all outputs
+  (this regenerates the EXPERIMENTS.md numbers).
+- ``generate <dir>`` — build the synthetic sources, run the merge
+  pipeline, and save the merged dataset as CSV tables.
+- ``serve-demo`` — fit BPR and answer a few sample recommendation
+  requests through the application service.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ExperimentContext
+from repro.experiments.config import config_for_scale
+from repro.experiments.registry import available_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Recommendation Systems in Libraries' "
+            "(EDBT 2023)"
+        ),
+    )
+    parser.add_argument(
+        "--scale", choices=("small", "default", "paper"), default="default",
+        help="dataset scale preset (default: default)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="world seed override"
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="DIR",
+        help="also write each experiment's rendered output to DIR/<name>.txt",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser("experiment", help="run one experiment")
+    experiment.add_argument("name", choices=available_experiments())
+
+    sub.add_parser("suite", help="run every experiment")
+
+    generate = sub.add_parser(
+        "generate", help="generate and save the merged dataset"
+    )
+    generate.add_argument("directory")
+
+    sub.add_parser("serve-demo", help="fit BPR and serve sample requests")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_for_scale(args.scale, seed=args.seed)
+    context = ExperimentContext(config)
+    if args.command == "experiment":
+        result = run_experiment(args.name, context)
+        _print_result(result)
+        if args.output:
+            _write_result(args.output, args.name, result)
+    elif args.command == "suite":
+        for name in available_experiments():
+            started = time.perf_counter()
+            result = run_experiment(name, context)
+            elapsed = time.perf_counter() - started
+            print(f"===== {name} ({elapsed:.1f}s) =====")
+            _print_result(result)
+            print()
+            if args.output:
+                _write_result(args.output, name, result)
+    elif args.command == "generate":
+        _generate(context, args.directory)
+    elif args.command == "serve-demo":
+        _serve_demo(context)
+    return 0
+
+
+def _print_result(result: object) -> None:
+    print(_render_result(result))
+
+
+def _render_result(result: object) -> str:
+    if isinstance(result, tuple):
+        return "\n".join(item.render() for item in result)  # type: ignore[attr-defined]
+    return result.render()  # type: ignore[attr-defined]
+
+
+def _write_result(directory: str, name: str, result: object) -> None:
+    from pathlib import Path
+
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"{name}.txt"
+    path.write_text(_render_result(result) + "\n", encoding="utf-8")
+    print(f"(written to {path})")
+
+
+def _generate(context: ExperimentContext, directory: str) -> None:
+    from repro.app.persistence import save_dataset
+
+    merged = context.merged
+    print(context.merge_report)
+    save_dataset(merged, directory)
+    print(
+        f"saved merged dataset to {directory}: {merged.n_books} books, "
+        f"{merged.n_users} users, {merged.n_readings} readings"
+    )
+
+
+def _serve_demo(context: ExperimentContext) -> None:
+    from repro.app.service import RecommendationRequest, RecommendationService
+
+    model = context.model("bpr")
+    service = RecommendationService(model, context.split.train, context.merged)
+    users = context.merged.bct_user_ids[:3]
+    for user_id in users:
+        books = service.recommend(RecommendationRequest(user_id=user_id, k=5))
+        print(f"user {user_id}:")
+        for book in books:
+            print(f"  {book.rank:2d}. {book.title} — {book.author}")
+    print(
+        f"served {service.stats.requests} requests, "
+        f"mean latency {service.stats.mean_seconds * 1000:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

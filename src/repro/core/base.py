@@ -1,0 +1,139 @@
+"""The :class:`Recommender` interface shared by all algorithms.
+
+The contract mirrors the paper's Section 4: a recommender is fitted on the
+training interactions (plus, for content-based models, the merged dataset's
+metadata), produces a relevance *score* for every (user, item) pair, and
+recommends the top-``k`` items by score. Whether already-read books are
+excluded from recommendations is a per-model property: Random Items and the
+personalised models skip them, while Most Read Items deliberately does not
+("the same recommendations apply to all users").
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.interactions import InteractionMatrix
+from repro.datasets.merged import MergedDataset
+from repro.errors import ConfigurationError, NotFittedError
+
+#: Score assigned to masked (already read) items before ranking.
+EXCLUDED_SCORE = -np.inf
+
+
+class Recommender(abc.ABC):
+    """Base class for all recommenders.
+
+    Subclasses implement :meth:`_fit` and :meth:`score_users`; everything
+    else (top-k cutting, seen-item masking, full rankings) is shared.
+    """
+
+    #: Whether recommendations skip books the user has already read.
+    exclude_seen: bool = True
+
+    def __init__(self) -> None:
+        self._train: InteractionMatrix | None = None
+
+    # ------------------------------------------------------------------
+    # template methods
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable algorithm name (defaults to the class name)."""
+        return type(self).__name__
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train is not None
+
+    @property
+    def train(self) -> InteractionMatrix:
+        if self._train is None:
+            raise NotFittedError(self.name)
+        return self._train
+
+    def fit(
+        self, train: InteractionMatrix, dataset: MergedDataset | None = None
+    ) -> "Recommender":
+        """Fit on the training interactions.
+
+        ``dataset`` provides book metadata; content-based models require it
+        and collaborative models ignore it.
+        """
+        self._train = train
+        self._fit(train, dataset)
+        return self
+
+    @abc.abstractmethod
+    def _fit(
+        self, train: InteractionMatrix, dataset: MergedDataset | None
+    ) -> None:
+        """Model-specific fitting logic."""
+
+    @abc.abstractmethod
+    def score_users(self, user_indices: np.ndarray) -> np.ndarray:
+        """Relevance scores for a batch of users.
+
+        Returns a ``(len(user_indices), n_items)`` float matrix. Higher is
+        better; scores are only compared within a row, so scales need not
+        match across models.
+        """
+
+    # ------------------------------------------------------------------
+    # shared recommendation logic
+    # ------------------------------------------------------------------
+
+    def masked_scores(self, user_indices: np.ndarray) -> np.ndarray:
+        """Scores with already-read items masked out (if the model excludes
+        them)."""
+        user_indices = np.asarray(user_indices, dtype=np.int64)
+        scores = self.score_users(user_indices)
+        if self.exclude_seen:
+            train = self.train
+            for row, user_index in enumerate(user_indices):
+                scores[row, train.user_items(int(user_index))] = EXCLUDED_SCORE
+        return scores
+
+    def rank_items(self, user_index: int) -> np.ndarray:
+        """The user's full ranking: item indices sorted by decreasing score.
+
+        Masked items sort last. Used by the First Rank (FR) metric, which
+        the paper computes on the full ranking rather than the top-k cut.
+        """
+        scores = self.masked_scores(np.asarray([user_index]))[0]
+        return np.argsort(-scores, kind="stable")
+
+    def recommend(self, user_index: int, k: int) -> np.ndarray:
+        """Top-``k`` item indices for one user (``R_u`` in the paper).
+
+        Masked (already read) items are never recommended, so fewer than
+        ``k`` items come back when the user has read nearly the whole
+        catalogue.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        scores = self.masked_scores(np.asarray([user_index]))[0]
+        return _top_k(scores, k)
+
+    def recommend_batch(
+        self, user_indices: np.ndarray, k: int
+    ) -> list[np.ndarray]:
+        """:meth:`recommend` for many users in one scoring pass.
+
+        Returns one array per user (lengths may differ near catalogue
+        exhaustion, so the result is a list rather than a matrix).
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        scores = self.masked_scores(user_indices)
+        return [_top_k(row, k) for row in scores]
+
+
+def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    k = min(k, len(scores))
+    partition = np.argpartition(-scores, kth=k - 1)[:k]
+    ordered = partition[np.argsort(-scores[partition], kind="stable")]
+    return ordered[scores[ordered] > EXCLUDED_SCORE]

@@ -1,0 +1,181 @@
+"""User-item interaction matrices for implicit feedback.
+
+The paper's matrix ``I`` (Section 4, BPR): ``i[u, b] = 1`` when user ``u``
+read book ``b``. We additionally keep the multiplicity (times read), which
+the Most Read Items baseline needs; binary views are derived on demand.
+
+Indexers map external ids (user id strings, book id ints) to contiguous
+matrix indices, and are shared between the train/validation/test splits so
+an index means the same user or book everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import DatasetError, UnknownUserError
+from repro.tables import Table
+
+
+class Indexer:
+    """A bidirectional mapping between external ids and contiguous indices.
+
+    Ids are sorted at construction, so the same id set always produces the
+    same index assignment regardless of input order.
+    """
+
+    def __init__(self, ids: Iterable[Hashable]) -> None:
+        self._ids: tuple = tuple(sorted(set(ids)))
+        self._index_of = {value: i for i, value in enumerate(self._ids)}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._index_of
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Indexer):
+            return NotImplemented
+        return self._ids == other._ids
+
+    def __hash__(self) -> int:
+        return hash(self._ids)
+
+    def index_of(self, value: Hashable) -> int:
+        """Index of an external id; raises :class:`KeyError` when unknown."""
+        return self._index_of[value]
+
+    def id_of(self, index: int) -> Hashable:
+        """External id at a matrix index."""
+        return self._ids[index]
+
+    @property
+    def ids(self) -> tuple:
+        return self._ids
+
+    def indices_of(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Vectorised :meth:`index_of` over a sequence."""
+        return np.asarray([self._index_of[value] for value in values], dtype=np.int64)
+
+
+class InteractionMatrix:
+    """A users × items sparse matrix of reading counts."""
+
+    def __init__(
+        self, users: Indexer, items: Indexer, matrix: sparse.csr_matrix
+    ) -> None:
+        if matrix.shape != (len(users), len(items)):
+            raise DatasetError(
+                f"matrix shape {matrix.shape} does not match indexers "
+                f"({len(users)} users, {len(items)} items)"
+            )
+        self.users = users
+        self.items = items
+        self.csr = matrix.tocsr()
+        self.csr.sum_duplicates()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[tuple[Hashable, Hashable]],
+        users: Indexer | None = None,
+        items: Indexer | None = None,
+    ) -> "InteractionMatrix":
+        """Build from (user id, item id) events; repeats accumulate counts."""
+        pairs = list(pairs)
+        if users is None:
+            users = Indexer(user for user, _ in pairs)
+        if items is None:
+            items = Indexer(item for _, item in pairs)
+        rows = np.asarray([users.index_of(u) for u, _ in pairs], dtype=np.int64)
+        cols = np.asarray([items.index_of(i) for _, i in pairs], dtype=np.int64)
+        data = np.ones(len(pairs), dtype=np.float64)
+        matrix = sparse.coo_matrix(
+            (data, (rows, cols)), shape=(len(users), len(items))
+        )
+        return cls(users, items, matrix.tocsr())
+
+    @classmethod
+    def from_readings_table(
+        cls,
+        readings: Table,
+        users: Indexer | None = None,
+        items: Indexer | None = None,
+    ) -> "InteractionMatrix":
+        """Build from a merged ``readings`` table (user_id, book_id columns)."""
+        pairs = zip(
+            (str(u) for u in readings["user_id"]),
+            (int(b) for b in readings["book_id"]),
+        )
+        return cls.from_pairs(pairs, users=users, items=items)
+
+    # ------------------------------------------------------------------
+    # views and accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def n_interactions(self) -> int:
+        """Number of distinct (user, item) pairs."""
+        return self.csr.nnz
+
+    def user_items(self, user_index: int) -> np.ndarray:
+        """Indices of the items a user interacted with (``N_u``)."""
+        if not 0 <= user_index < self.n_users:
+            raise UnknownUserError(user_index)
+        start, end = self.csr.indptr[user_index], self.csr.indptr[user_index + 1]
+        return self.csr.indices[start:end]
+
+    def user_history_sizes(self) -> np.ndarray:
+        """Distinct items per user, for the Fig. 4 group analysis."""
+        return np.diff(self.csr.indptr)
+
+    def item_counts(self) -> np.ndarray:
+        """Total readings per item (with multiplicity) — popularity."""
+        return np.asarray(self.csr.sum(axis=0)).ravel()
+
+    def binary(self) -> sparse.csr_matrix:
+        """A 0/1 copy of the matrix (the paper's ``I``)."""
+        out = self.csr.copy()
+        out.data = np.ones_like(out.data)
+        return out
+
+    def positive_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """All distinct (user index, item index) interactions as two arrays."""
+        coo = self.csr.tocoo()
+        return coo.row.astype(np.int64), coo.col.astype(np.int64)
+
+    def interaction_keys(self) -> np.ndarray:
+        """Sorted ``user * n_items + item`` keys for O(log n) membership tests.
+
+        Used by the BPR negative sampler to reject sampled "negatives" the
+        user has actually read.
+        """
+        rows, cols = self.positive_pairs()
+        return np.sort(rows * np.int64(self.n_items) + cols)
+
+    def restrict_users(self, user_indices: np.ndarray) -> "InteractionMatrix":
+        """A matrix over a subset of users (item indexing unchanged)."""
+        user_indices = np.asarray(user_indices, dtype=np.int64)
+        sub = self.csr[user_indices]
+        users = Indexer(self.users.id_of(int(i)) for i in user_indices)
+        order = users.indices_of([self.users.id_of(int(i)) for i in user_indices])
+        # `users` sorts ids; permute rows to match the sorted indexer.
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(len(order))
+        return InteractionMatrix(users, self.items, sub[inverse])

@@ -1,0 +1,45 @@
+"""The Random Items baseline (paper Section 4).
+
+Given a user, recommend ``k`` uniformly random books the user has not read
+yet. The paper uses it "to understand if the RecSys is properly learning":
+any trained model must clear this bar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Recommender
+from repro.core.interactions import InteractionMatrix
+from repro.datasets.merged import MergedDataset
+from repro.rng import derive_rng
+
+
+class RandomItems(Recommender):
+    """Uniformly random scores, re-drawn deterministically per user.
+
+    Scores are generated from a per-user stream seeded by (model seed, user
+    index), so the same user always receives the same "random" ranking —
+    evaluation stays reproducible while different users get independent
+    draws.
+    """
+
+    exclude_seen = True
+
+    def __init__(self, seed: int | None = None) -> None:
+        super().__init__()
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        return "Random Items"
+
+    def _fit(self, train: InteractionMatrix, dataset: MergedDataset | None) -> None:
+        self._n_items = train.n_items
+
+    def score_users(self, user_indices: np.ndarray) -> np.ndarray:
+        scores = np.empty((len(user_indices), self._n_items), dtype=np.float64)
+        for row, user_index in enumerate(np.asarray(user_indices)):
+            rng = derive_rng(self.seed, "random-items", str(int(user_index)))
+            scores[row] = rng.random(self._n_items)
+        return scores

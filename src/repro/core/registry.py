@@ -1,0 +1,66 @@
+"""A name -> factory registry for recommenders.
+
+Used by the CLI and the experiment harness so configurations can reference
+models by name ("bpr", "closest", ...) and applications can register their
+own without patching the library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import Recommender
+from repro.core.bpr import BPR, BPRConfig
+from repro.core.closest_items import ClosestItems
+from repro.core.item_knn import ItemKNN
+from repro.core.most_read import MostReadItems
+from repro.core.random_items import RandomItems
+from repro.core.sequential import SequentialMarkov
+from repro.errors import ConfigurationError, UnknownModelError
+
+_REGISTRY: dict[str, Callable[..., Recommender]] = {}
+
+
+def register_model(name: str, factory: Callable[..., Recommender]) -> None:
+    """Register a recommender factory under ``name`` (lower-case)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ConfigurationError(f"model {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_models() -> tuple[str, ...]:
+    """Registered model names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_model(name: str, **kwargs) -> Recommender:
+    """Instantiate a registered recommender by name.
+
+    Keyword arguments are forwarded to the factory, e.g.
+    ``create_model("bpr", config=BPRConfig(epochs=5))`` or
+    ``create_model("closest", fields=("author",))``.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise UnknownModelError(name, available_models())
+    return _REGISTRY[key](**kwargs)
+
+
+def _bpr_factory(config: BPRConfig | None = None, **kwargs) -> BPR:
+    if config is None and kwargs:
+        config = BPRConfig(**kwargs)
+        kwargs = {}
+    if kwargs:
+        raise ConfigurationError(
+            f"unexpected arguments for bpr: {sorted(kwargs)}"
+        )
+    return BPR(config)
+
+
+register_model("random", RandomItems)
+register_model("most_read", MostReadItems)
+register_model("closest", ClosestItems)
+register_model("bpr", _bpr_factory)
+register_model("item_knn", ItemKNN)
+register_model("sequential", SequentialMarkov)

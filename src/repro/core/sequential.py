@@ -1,0 +1,144 @@
+"""A sequential (Markov-chain) recommender — the paper's other future work.
+
+The paper notes it ignores "the user specific sequence of loans, namely the
+fact that a book has been chosen after another" and points to sequential
+recommender systems (Wang et al., IJCAI 2019) as the natural follow-up.
+This module implements the classical first-order baseline of that family:
+
+- training counts catalogue-level transitions ``book_t -> book_{t+1}``
+  over every user's time-ordered reading sequence;
+- transition counts are normalised per source book with add-``alpha``
+  smoothing and damped by the destination's global popularity (so the
+  chain does not collapse onto bestsellers);
+- a user's score for an unread book blends the transition probabilities
+  out of their ``window`` most recent readings, most recent first
+  (geometric decay).
+
+Because the merged ``readings`` table carries dates, the model consumes the
+dataset directly (the interaction matrix alone has no order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.base import Recommender
+from repro.core.interactions import InteractionMatrix
+from repro.datasets.merged import MergedDataset
+from repro.errors import ConfigurationError
+
+
+class SequentialMarkov(Recommender):
+    """First-order Markov-chain recommender over reading sequences.
+
+    Args:
+        window: how many of the user's most recent readings seed the
+            prediction.
+        decay: geometric weight applied per step back in history
+            (1.0 = uniform over the window).
+        alpha: additive smoothing on transition counts.
+    """
+
+    exclude_seen = True
+
+    def __init__(
+        self, window: int = 5, decay: float = 0.7, alpha: float = 0.05
+    ) -> None:
+        super().__init__()
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {decay}")
+        if alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+        self.window = window
+        self.decay = decay
+        self.alpha = alpha
+        self._transitions: np.ndarray | None = None
+        self._recent: dict[int, list[int]] = {}
+
+    @property
+    def name(self) -> str:
+        return "Sequential Markov"
+
+    def _fit(self, train: InteractionMatrix, dataset: MergedDataset | None) -> None:
+        if dataset is None:
+            raise ConfigurationError(
+                "SequentialMarkov needs the merged dataset's dated readings; "
+                "pass dataset= to fit()"
+            )
+        n_items = train.n_items
+        sequences = self._training_sequences(train, dataset)
+
+        rows: list[int] = []
+        cols: list[int] = []
+        for sequence in sequences.values():
+            rows.extend(sequence[:-1])
+            cols.extend(sequence[1:])
+        counts = sparse.coo_matrix(
+            (np.ones(len(rows)), (rows, cols)), shape=(n_items, n_items)
+        ).toarray()
+        np.fill_diagonal(counts, 0.0)
+
+        # Row-normalise with smoothing, then damp destination popularity so
+        # the chain ranks "what follows this book" rather than "what is
+        # popular overall".
+        smoothed = counts + self.alpha
+        transition = smoothed / smoothed.sum(axis=1, keepdims=True)
+        in_degree = counts.sum(axis=0)
+        damping = 1.0 / np.sqrt(1.0 + in_degree)
+        self._transitions = transition * damping[None, :]
+        self._recent = {
+            user: sequence[-self.window:]
+            for user, sequence in sequences.items()
+        }
+
+    def _training_sequences(
+        self, train: InteractionMatrix, dataset: MergedDataset
+    ) -> dict[int, list[int]]:
+        """Each user's *training* readings as a time-ordered item-index list.
+
+        Holdout books are excluded (they are not in the training matrix);
+        repeat borrows keep their first occurrence only.
+        """
+        dated: dict[int, list[tuple[np.datetime64, int]]] = {}
+        users = train.users
+        items = train.items
+        train_sets = {
+            u: set(train.user_items(u).tolist()) for u in range(train.n_users)
+        }
+        seen: set[tuple[int, int]] = set()
+        readings = dataset.readings
+        for user_id, book_id, read_date in zip(
+            readings["user_id"], readings["book_id"], readings["read_date"]
+        ):
+            user_id = str(user_id)
+            book_id = int(book_id)
+            if user_id not in users or book_id not in items:
+                continue
+            user = users.index_of(user_id)
+            item = items.index_of(book_id)
+            if item not in train_sets[user] or (user, item) in seen:
+                continue
+            seen.add((user, item))
+            dated.setdefault(user, []).append((read_date, item))
+        return {
+            user: [item for _, item in sorted(pairs, key=lambda p: (p[0], p[1]))]
+            for user, pairs in dated.items()
+        }
+
+    def score_users(self, user_indices: np.ndarray) -> np.ndarray:
+        if self._transitions is None:
+            from repro.errors import NotFittedError
+
+            raise NotFittedError(self.name)
+        n_items = self._transitions.shape[0]
+        scores = np.zeros((len(user_indices), n_items), dtype=np.float64)
+        for row, user_index in enumerate(np.asarray(user_indices)):
+            recent = self._recent.get(int(user_index), [])
+            weight = 1.0
+            for item in reversed(recent):
+                scores[row] += weight * self._transitions[item]
+                weight *= self.decay
+        return scores

@@ -1,0 +1,165 @@
+"""The merged dataset: BCT ⋈ Anobii, as built by the Section-3 pipeline.
+
+A :class:`MergedDataset` is the training substrate of every recommender in
+the paper. It has three tables:
+
+- ``books`` — one row per book present in *both* sources, carrying the union
+  of the useful attributes (author and title from BCT; plot and keywords
+  from Anobii);
+- ``readings`` — the unified implicit-feedback table: BCT loans plus Anobii
+  positive ratings, each tagged with its ``source``;
+- ``genres`` — the cleaned genre model: up to four (book, genre,
+  probability) rows per book, probabilities summing to one.
+
+Construction logic lives in :mod:`repro.pipeline.merge`; this module is the
+validated container plus its read API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.datasets.models import (
+    BOOK_GENRES_SCHEMA,
+    MERGED_BOOKS_SCHEMA,
+    READINGS_SCHEMA,
+)
+from repro.errors import DatasetError
+from repro.tables import Table, ops
+
+VALID_SOURCES = frozenset({"bct", "anobii"})
+
+
+@dataclass(frozen=True)
+class MergedDataset:
+    """The merged BCT + Anobii dataset (see module docstring)."""
+
+    books: Table
+    readings: Table
+    genres: Table
+
+    def __post_init__(self) -> None:
+        for table, schema, name in (
+            (self.books, MERGED_BOOKS_SCHEMA, "books"),
+            (self.readings, READINGS_SCHEMA, "readings"),
+            (self.genres, BOOK_GENRES_SCHEMA, "genres"),
+        ):
+            if table.schema != schema:
+                raise DatasetError(
+                    f"merged {name} table has schema {table.schema!r}; "
+                    f"expected {schema!r}"
+                )
+
+    def validate(self) -> None:
+        """Full integrity check; merged datasets must always pass this."""
+        known = set(self.books["book_id"].tolist())
+        read_books = set(self.readings["book_id"].tolist())
+        dangling = read_books - known
+        if dangling:
+            raise DatasetError(
+                f"{len(dangling)} readings reference unknown books, "
+                f"e.g. {sorted(dangling)[:5]}"
+            )
+        sources = set(self.readings["source"].tolist())
+        if not sources <= VALID_SOURCES:
+            raise DatasetError(f"unknown reading sources: {sources - VALID_SOURCES}")
+        genre_books = set(self.genres["book_id"].tolist())
+        if not genre_books <= known:
+            raise DatasetError("genre rows reference unknown books")
+        # Per-book genre probabilities must sum to ~1 (paper Section 3).
+        sums: dict[int, float] = {}
+        for book_id, prob in zip(self.genres["book_id"], self.genres["probability"]):
+            sums[int(book_id)] = sums.get(int(book_id), 0.0) + float(prob)
+        bad = {b: s for b, s in sums.items() if abs(s - 1.0) > 1e-6}
+        if bad:
+            book, total = next(iter(bad.items()))
+            raise DatasetError(
+                f"{len(bad)} books have genre probabilities not summing to 1, "
+                f"e.g. book {book} sums to {total:.4f}"
+            )
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+
+    @property
+    def n_books(self) -> int:
+        return self.books.num_rows
+
+    @property
+    def n_readings(self) -> int:
+        return self.readings.num_rows
+
+    @cached_property
+    def user_ids(self) -> tuple[str, ...]:
+        """All user ids, sorted (stable across runs)."""
+        return tuple(sorted(set(self.readings["user_id"].tolist())))
+
+    @cached_property
+    def bct_user_ids(self) -> tuple[str, ...]:
+        """Users coming from the BCT source — the recommendation targets."""
+        mask = self.readings["source"] == "bct"
+        return tuple(sorted(set(self.readings["user_id"][mask].tolist())))
+
+    @property
+    def n_users(self) -> int:
+        return len(self.user_ids)
+
+    # ------------------------------------------------------------------
+    # characterisation
+    # ------------------------------------------------------------------
+
+    def readings_per_user(self) -> Table:
+        """Table (user_id, n_readings) — Fig. 1's per-user distribution."""
+        return self.readings.group_by("user_id").aggregate(
+            {"n_readings": ("book_id", ops.count)}
+        )
+
+    def readings_per_book(self) -> Table:
+        """Table (book_id, n_readings) — Fig. 1's per-book distribution."""
+        return self.readings.group_by("book_id").aggregate(
+            {"n_readings": ("user_id", ops.count)}
+        )
+
+    # ------------------------------------------------------------------
+    # metadata access for the content-based recommender
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def genre_probabilities(self) -> dict[int, dict[str, float]]:
+        """``{book_id: {genre: probability}}`` from the genres table."""
+        table: dict[int, dict[str, float]] = {}
+        for book_id, genre, prob in zip(
+            self.genres["book_id"], self.genres["genre"], self.genres["probability"]
+        ):
+            table.setdefault(int(book_id), {})[str(genre)] = float(prob)
+        return table
+
+    def book_metadata(self, book_id: int) -> dict[str, object]:
+        """All metadata fields of one book, including its genre model."""
+        matches = self.books.filter(self.books["book_id"] == book_id)
+        if matches.num_rows == 0:
+            raise DatasetError(f"unknown book_id: {book_id}")
+        row = matches.row(0)
+        row["genres"] = self.genre_probabilities.get(book_id, {})
+        return row
+
+    def restrict_to_sources(self, sources: frozenset[str] | set[str]) -> "MergedDataset":
+        """Return a dataset keeping only readings from the given sources.
+
+        This is how the paper's *BPR (BCT only)* configuration is obtained:
+        ``merged.restrict_to_sources({"bct"})`` keeps the catalogue and genre
+        model intact but trains on library loans alone.
+        """
+        unknown = set(sources) - VALID_SOURCES
+        if unknown:
+            raise DatasetError(f"unknown sources: {sorted(unknown)}")
+        mask = np.asarray(
+            [source in sources for source in self.readings["source"]], dtype=bool
+        )
+        return MergedDataset(
+            books=self.books, readings=self.readings.filter(mask), genres=self.genres
+        )

@@ -1,0 +1,162 @@
+"""Bootstrap confidence intervals for the KPIs.
+
+The paper reports point estimates only; with ~6 000 test users, differences
+like BPR's URR 0.26 vs Closest's 0.22 deserve uncertainty quantification.
+This module resamples *users* with replacement (the KPIs are user-level
+means, so the user is the exchangeable unit) to produce:
+
+- percentile confidence intervals for any KPI of one evaluation;
+- a *paired* bootstrap for the difference between two models evaluated on
+  the same users — pairing removes the between-user variance that
+  dominates unpaired comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.evaluator import EvaluationResult
+from repro.rng import derive_rng
+
+SUPPORTED_METRICS = ("urr", "nrr", "precision", "recall", "first_rank")
+
+DEFAULT_RESAMPLES = 1000
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a percentile bootstrap interval."""
+
+    metric: str
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.metric}={self.estimate:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}] "
+            f"@{self.confidence * 100:.0f}%"
+        )
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def _per_user_values(
+    result: EvaluationResult, metric: str, k: int
+) -> np.ndarray:
+    """The user-level values whose mean is the requested KPI."""
+    if metric not in SUPPORTED_METRICS:
+        raise EvaluationError(
+            f"unsupported metric {metric!r}; expected one of {SUPPORTED_METRICS}"
+        )
+    per_user = result.per_user
+    if k not in per_user.hits:
+        raise EvaluationError(
+            f"result has no hits at k={k}; available: {sorted(per_user.hits)}"
+        )
+    hits = per_user.hits[k].astype(np.float64)
+    if metric == "urr":
+        return (hits > 0).astype(np.float64)
+    if metric == "nrr":
+        return hits
+    if metric == "precision":
+        return hits / k
+    if metric == "recall":
+        return hits / per_user.test_sizes
+    return per_user.first_ranks.astype(np.float64)
+
+
+def bootstrap_metric(
+    result: EvaluationResult,
+    metric: str,
+    k: int,
+    n_resamples: int = DEFAULT_RESAMPLES,
+    confidence: float = 0.95,
+    seed: int | None = None,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI for one KPI of one evaluation."""
+    if not 0 < confidence < 1:
+        raise EvaluationError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 10:
+        raise EvaluationError(f"n_resamples must be >= 10, got {n_resamples}")
+    values = _per_user_values(result, metric, k)
+    rng = derive_rng(seed, "bootstrap", metric)
+    n = len(values)
+    samples = rng.integers(0, n, size=(n_resamples, n))
+    means = values[samples].mean(axis=1)
+    alpha = (1.0 - confidence) / 2
+    return ConfidenceInterval(
+        metric=metric,
+        estimate=float(values.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1 - alpha)),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired bootstrap of ``first - second`` on a shared user population."""
+
+    metric: str
+    first_name: str
+    second_name: str
+    difference: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI excludes zero."""
+        return self.low > 0 or self.high < 0
+
+    def __str__(self) -> str:
+        marker = "significant" if self.significant else "not significant"
+        return (
+            f"{self.first_name} - {self.second_name} on {self.metric}: "
+            f"{self.difference:+.3f} [{self.low:+.3f}, {self.high:+.3f}] "
+            f"({marker} @{self.confidence * 100:.0f}%)"
+        )
+
+
+def paired_bootstrap_difference(
+    first: EvaluationResult,
+    second: EvaluationResult,
+    metric: str,
+    k: int,
+    n_resamples: int = DEFAULT_RESAMPLES,
+    confidence: float = 0.95,
+    seed: int | None = None,
+) -> PairedComparison:
+    """CI for the difference of one KPI between two models, paired by user."""
+    if not np.array_equal(
+        first.per_user.user_indices, second.per_user.user_indices
+    ):
+        raise EvaluationError(
+            "paired bootstrap requires both evaluations to cover the same "
+            "users in the same order"
+        )
+    first_values = _per_user_values(first, metric, k)
+    second_values = _per_user_values(second, metric, k)
+    deltas = first_values - second_values
+    rng = derive_rng(seed, "bootstrap", "paired", metric)
+    n = len(deltas)
+    samples = rng.integers(0, n, size=(n_resamples, n))
+    means = deltas[samples].mean(axis=1)
+    alpha = (1.0 - confidence) / 2
+    return PairedComparison(
+        metric=metric,
+        first_name=first.model_name,
+        second_name=second.model_name,
+        difference=float(deltas.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1 - alpha)),
+        confidence=confidence,
+    )

@@ -1,0 +1,176 @@
+"""End-to-end model evaluation.
+
+For each target user the evaluator asks the model for its full ranking
+(scores with the model's own seen-item masking), reads off the rank of
+every held-out book, and aggregates the paper's KPIs — for one ``k`` or a
+whole sweep in a single scoring pass (Fig. 3 evaluates k = 1..50 without
+re-scoring).
+
+Timing hooks cover Table 2: ``fit_seconds`` wraps the training call and
+``recommend_seconds_per_user`` measures per-request latency over a sample
+of users, mimicking the deployed request path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import Recommender
+from repro.datasets.merged import MergedDataset
+from repro.errors import EvaluationError
+from repro.eval.metrics import KPIReport, compute_kpis
+from repro.eval.split import DatasetSplit
+
+DEFAULT_CHUNK_SIZE = 256
+LATENCY_SAMPLE_USERS = 50
+
+
+@dataclass(frozen=True)
+class PerUserOutcome:
+    """Per-user evaluation arrays, aligned with ``user_indices``."""
+
+    user_indices: np.ndarray
+    train_sizes: np.ndarray
+    test_sizes: np.ndarray
+    hits: dict[int, np.ndarray]
+    """k -> per-user hit counts at that k."""
+    first_ranks: np.ndarray
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """KPIs (per k) plus timing and per-user details for one model."""
+
+    model_name: str
+    kpis: dict[int, KPIReport]
+    per_user: PerUserOutcome = field(repr=False)
+    fit_seconds: float | None = None
+    recommend_seconds_per_user: float | None = None
+
+    def report(self, k: int) -> KPIReport:
+        if k not in self.kpis:
+            raise EvaluationError(
+                f"no KPIs computed at k={k}; available: {sorted(self.kpis)}"
+            )
+        return self.kpis[k]
+
+
+def fit_and_evaluate(
+    model: Recommender,
+    split: DatasetSplit,
+    dataset: MergedDataset,
+    ks: tuple[int, ...] = (20,),
+    holdout: str = "test",
+    measure_latency: bool = False,
+) -> EvaluationResult:
+    """Fit ``model`` on the split's training matrix, then evaluate it."""
+    started = time.perf_counter()
+    model.fit(split.train, dataset)
+    fit_seconds = time.perf_counter() - started
+    result = evaluate_model(
+        model, split, ks=ks, holdout=holdout, measure_latency=measure_latency
+    )
+    return EvaluationResult(
+        model_name=result.model_name,
+        kpis=result.kpis,
+        per_user=result.per_user,
+        fit_seconds=fit_seconds,
+        recommend_seconds_per_user=result.recommend_seconds_per_user,
+    )
+
+
+def evaluate_model(
+    model: Recommender,
+    split: DatasetSplit,
+    ks: tuple[int, ...] = (20,),
+    holdout: str = "test",
+    measure_latency: bool = False,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> EvaluationResult:
+    """Evaluate an already-fitted model.
+
+    ``holdout`` selects the ground truth: ``"test"`` (BCT users, the
+    paper's Table 1 setting) or ``"val"`` restricted to BCT users (the grid
+    search setting).
+    """
+    if not ks:
+        raise EvaluationError("at least one k is required")
+    if any(k < 1 for k in ks):
+        raise EvaluationError(f"all k must be >= 1, got {ks}")
+    holdout_items = _select_holdout(split, holdout)
+    user_indices = np.asarray(sorted(holdout_items), dtype=np.int64)
+    if len(user_indices) == 0:
+        raise EvaluationError(f"the {holdout!r} holdout contains no users")
+
+    hits = {k: np.zeros(len(user_indices), dtype=np.int64) for k in ks}
+    first_ranks = np.zeros(len(user_indices), dtype=np.int64)
+    test_sizes = np.zeros(len(user_indices), dtype=np.int64)
+
+    for start in range(0, len(user_indices), chunk_size):
+        chunk = user_indices[start:start + chunk_size]
+        scores = model.masked_scores(chunk)
+        # rank_of[j] = 1-based rank of item j in this user's full ranking.
+        order = np.argsort(-scores, axis=1, kind="stable")
+        ranks = np.empty_like(order)
+        row_index = np.arange(order.shape[0])[:, None]
+        ranks[row_index, order] = np.arange(1, order.shape[1] + 1)
+        for offset, user_index in enumerate(chunk):
+            held_out = holdout_items[int(user_index)]
+            item_ranks = ranks[offset, held_out]
+            position = start + offset
+            test_sizes[position] = len(held_out)
+            first_ranks[position] = item_ranks.min()
+            for k in ks:
+                hits[k][position] = int((item_ranks <= k).sum())
+
+    kpis = {
+        k: compute_kpis(hits[k], test_sizes, first_ranks, k) for k in ks
+    }
+    per_user = PerUserOutcome(
+        user_indices=user_indices,
+        train_sizes=split.train_sizes(user_indices),
+        test_sizes=test_sizes,
+        hits=hits,
+        first_ranks=first_ranks,
+    )
+    latency = None
+    if measure_latency:
+        latency = measure_recommendation_latency(model, user_indices, k=max(ks))
+    return EvaluationResult(
+        model_name=model.name,
+        kpis=kpis,
+        per_user=per_user,
+        recommend_seconds_per_user=latency,
+    )
+
+
+def measure_recommendation_latency(
+    model: Recommender,
+    user_indices: np.ndarray,
+    k: int,
+    sample: int = LATENCY_SAMPLE_USERS,
+) -> float:
+    """Average seconds per single-user recommendation request (Table 2)."""
+    targets = np.asarray(user_indices, dtype=np.int64)[:sample]
+    if len(targets) == 0:
+        raise EvaluationError("latency measurement needs at least one user")
+    started = time.perf_counter()
+    for user_index in targets:
+        model.recommend(int(user_index), k)
+    return (time.perf_counter() - started) / len(targets)
+
+
+def _select_holdout(split: DatasetSplit, holdout: str) -> dict[int, np.ndarray]:
+    if holdout == "test":
+        return split.test_items
+    if holdout == "val":
+        bct = set(int(u) for u in split.bct_user_indices)
+        return {
+            user: items
+            for user, items in split.val_items.items()
+            if user in bct
+        }
+    raise EvaluationError(f"holdout must be 'test' or 'val', got {holdout!r}")

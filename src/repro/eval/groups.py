@@ -1,0 +1,109 @@
+"""History-size group analysis (paper Fig. 4).
+
+The paper bins BCT users by how many books they have in the training set —
+bins chosen so each holds roughly the same number of users — and reports
+the NRR of every model per bin. The headline finding: the content-based
+model improves sharply with history size (overtaking BPR in the largest
+bin) while BPR is nearly flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.evaluator import EvaluationResult
+
+
+@dataclass(frozen=True)
+class HistoryBin:
+    """One equal-population bin of users by training-history size."""
+
+    low: int
+    high: int
+    n_users: int
+
+    @property
+    def label(self) -> str:
+        if self.low == self.high:
+            return str(self.low)
+        return f"{self.low}-{self.high}"
+
+
+@dataclass(frozen=True)
+class GroupKPIs:
+    """Per-bin NRR (and URR) for one evaluated model."""
+
+    model_name: str
+    bins: tuple[HistoryBin, ...]
+    nrr: tuple[float, ...]
+    urr: tuple[float, ...]
+
+
+def equal_population_bins(
+    train_sizes: np.ndarray, n_bins: int
+) -> tuple[HistoryBin, ...]:
+    """Quantile bin edges over the users' training-history sizes.
+
+    Adjacent bins with identical edges (heavy ties at small sizes) are
+    merged, so fewer than ``n_bins`` bins may come back.
+    """
+    if n_bins < 1:
+        raise EvaluationError(f"n_bins must be >= 1, got {n_bins}")
+    sizes = np.asarray(train_sizes)
+    if len(sizes) == 0:
+        raise EvaluationError("no users to bin")
+    quantiles = np.quantile(sizes, np.linspace(0, 1, n_bins + 1))
+    edges = np.unique(np.round(quantiles).astype(np.int64))
+    if len(edges) == 1:
+        edges = np.asarray([edges[0], edges[0]])
+    bins = []
+    for i in range(len(edges) - 1):
+        low = int(edges[i]) if i == 0 else int(edges[i]) + 1
+        high = int(edges[i + 1])
+        if high < low:
+            continue
+        mask = (sizes >= low) & (sizes <= high)
+        bins.append(HistoryBin(low=low, high=high, n_users=int(mask.sum())))
+    return tuple(bins)
+
+
+def evaluate_by_history_size(
+    result: EvaluationResult,
+    k: int,
+    bins: tuple[HistoryBin, ...] | None = None,
+    n_bins: int = 4,
+) -> GroupKPIs:
+    """Slice an evaluation's per-user outcomes into history-size bins.
+
+    Pass the same ``bins`` to every model so the Fig. 4 series share the
+    x-axis; omit it to derive equal-population bins from this result.
+    """
+    per_user = result.per_user
+    if k not in per_user.hits:
+        raise EvaluationError(
+            f"result has no hits at k={k}; available: {sorted(per_user.hits)}"
+        )
+    if bins is None:
+        bins = equal_population_bins(per_user.train_sizes, n_bins)
+    hits = per_user.hits[k]
+    nrr: list[float] = []
+    urr: list[float] = []
+    for hist_bin in bins:
+        mask = (per_user.train_sizes >= hist_bin.low) & (
+            per_user.train_sizes <= hist_bin.high
+        )
+        if not mask.any():
+            nrr.append(float("nan"))
+            urr.append(float("nan"))
+            continue
+        nrr.append(float(hits[mask].mean()))
+        urr.append(float((hits[mask] > 0).mean()))
+    return GroupKPIs(
+        model_name=result.model_name,
+        bins=bins,
+        nrr=tuple(nrr),
+        urr=tuple(urr),
+    )

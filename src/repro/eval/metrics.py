@@ -1,0 +1,111 @@
+"""The paper's KPIs (Section 5) plus standard ranking extensions.
+
+All metrics consume two per-user arrays produced by the evaluator:
+
+- ``hits`` — ``|T_u ∩ R_u|``, the number of held-out books inside the
+  user's top-k recommendations;
+- ``first_ranks`` — the 1-based position of the first held-out book in the
+  user's *full* ranking (FR is independent of k, per the paper).
+
+together with ``test_sizes`` (``|T_u|``) and the cut-off ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class KPIReport:
+    """The five KPIs of Table 1, at one value of k."""
+
+    k: int
+    urr: float
+    """Users with Relevant Recommendations — Eq. (4)."""
+    nrr: float
+    """average Number of Relevant Recommendations — Eq. (5)."""
+    precision: float
+    """Eq. (6)."""
+    recall: float
+    """Eq. (7)."""
+    first_rank: float
+    """average First Rank position (lower is better; k-independent)."""
+
+    def as_row(self) -> dict[str, float]:
+        """The KPI values keyed like the paper's Table 1 header."""
+        return {
+            "URR": self.urr,
+            "NRR": self.nrr,
+            "P": self.precision,
+            "R": self.recall,
+            "FR": self.first_rank,
+        }
+
+
+def compute_kpis(
+    hits: np.ndarray,
+    test_sizes: np.ndarray,
+    first_ranks: np.ndarray,
+    k: int,
+) -> KPIReport:
+    """Aggregate per-user counters into a :class:`KPIReport`."""
+    hits = np.asarray(hits, dtype=np.float64)
+    test_sizes = np.asarray(test_sizes, dtype=np.float64)
+    first_ranks = np.asarray(first_ranks, dtype=np.float64)
+    if not (len(hits) == len(test_sizes) == len(first_ranks)):
+        raise EvaluationError(
+            f"per-user arrays disagree in length: {len(hits)}, "
+            f"{len(test_sizes)}, {len(first_ranks)}"
+        )
+    if len(hits) == 0:
+        raise EvaluationError("cannot compute KPIs over zero users")
+    if (test_sizes <= 0).any():
+        raise EvaluationError("every evaluated user needs a non-empty test set")
+    return KPIReport(
+        k=k,
+        urr=float((hits > 0).mean()),
+        nrr=float(hits.mean()),
+        precision=float((hits / k).mean()),
+        recall=float((hits / test_sizes).mean()),
+        first_rank=float(first_ranks.mean()),
+    )
+
+
+def hits_at_k(rank_of_items: np.ndarray, k: int) -> int:
+    """Count of held-out items ranked within the top ``k`` (ranks 1-based)."""
+    return int((rank_of_items <= k).sum())
+
+
+def first_rank(rank_of_items: np.ndarray) -> int:
+    """The best (lowest) rank among the held-out items, 1-based."""
+    if len(rank_of_items) == 0:
+        raise EvaluationError("first_rank of an empty holdout is undefined")
+    return int(rank_of_items.min())
+
+
+# ----------------------------------------------------------------------
+# extensions beyond the paper (used by the extended example / diagnostics)
+# ----------------------------------------------------------------------
+
+def average_precision(rank_of_items: np.ndarray, k: int) -> float:
+    """AP@k for one user, given the 1-based ranks of the held-out items."""
+    ranks = np.sort(rank_of_items[rank_of_items <= k])
+    if len(ranks) == 0:
+        return 0.0
+    precisions = np.arange(1, len(ranks) + 1) / ranks
+    return float(precisions.sum() / min(len(rank_of_items), k))
+
+
+def ndcg(rank_of_items: np.ndarray, k: int) -> float:
+    """NDCG@k for one user with binary relevance."""
+    ranks = rank_of_items[rank_of_items <= k]
+    if len(ranks) == 0:
+        return 0.0
+    dcg = float((1.0 / np.log2(ranks + 1)).sum())
+    ideal_count = min(len(rank_of_items), k)
+    ideal = float((1.0 / np.log2(np.arange(1, ideal_count + 1) + 1)).sum())
+    return dcg / ideal

@@ -1,0 +1,173 @@
+"""Train / validation / test splitting (paper Section 5).
+
+The paper's protocol is asymmetric across sources:
+
+- *BCT users* (the recommendation targets): 20 % of each user's readings
+  form the **test** set; the remaining 80 % splits again 80/20 into train
+  and validation.
+- *Anobii users*: 80/20 train/validation, no test set — their role is to
+  densify the CF training signal.
+
+Splits are *temporal* per user by default (the most recent readings are
+held out), matching how the deployed system would be used: recommend the
+next books from the past ones. A uniform-random per-user split is available
+for robustness checks.
+
+Readings are de-duplicated to distinct books per user (keeping the first
+date) before splitting, so a held-out book is never simultaneously in the
+user's training history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.interactions import Indexer, InteractionMatrix
+from repro.datasets.merged import MergedDataset
+from repro.errors import EvaluationError
+from repro.rng import derive_rng
+
+SPLIT_ORDERS = ("time", "random")
+
+
+@dataclass(frozen=True)
+class SplitConfig:
+    """Parameters of the per-user split."""
+
+    test_fraction: float = 0.2
+    val_fraction: float = 0.2
+    order: str = "time"
+    seed: int | None = None
+    """Only used when ``order="random"``."""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.test_fraction < 1:
+            raise EvaluationError(
+                f"test_fraction must be in (0, 1), got {self.test_fraction}"
+            )
+        if not 0 <= self.val_fraction < 1:
+            raise EvaluationError(
+                f"val_fraction must be in [0, 1), got {self.val_fraction}"
+            )
+        if self.order not in SPLIT_ORDERS:
+            raise EvaluationError(
+                f"order must be one of {SPLIT_ORDERS}, got {self.order!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """The result of :func:`split_readings`."""
+
+    train: InteractionMatrix
+    val_items: dict[int, np.ndarray]
+    """user index -> validation item indices (all users)."""
+    test_items: dict[int, np.ndarray]
+    """user index -> test item indices (BCT users only)."""
+    bct_user_indices: np.ndarray = field(repr=False)
+
+    @property
+    def users(self) -> Indexer:
+        return self.train.users
+
+    @property
+    def items(self) -> Indexer:
+        return self.train.items
+
+    def train_sizes(self, user_indices: np.ndarray) -> np.ndarray:
+        """Distinct training books per user — the Fig. 4 grouping variable."""
+        sizes = self.train.user_history_sizes()
+        return sizes[np.asarray(user_indices, dtype=np.int64)]
+
+
+def split_readings(
+    merged: MergedDataset, config: SplitConfig | None = None
+) -> DatasetSplit:
+    """Split a merged dataset per the paper's protocol (module docstring)."""
+    config = config or SplitConfig()
+    users = Indexer(merged.user_ids)
+    items = Indexer(int(b) for b in merged.books["book_id"])
+    bct_users = set(merged.bct_user_ids)
+
+    # Distinct books per user with first-read date and event multiplicity
+    # (re-borrows), in reading order. The split is decided on distinct
+    # books; multiplicity flows into the training matrix so popularity
+    # reflects loan events, as in the raw Loans table.
+    first_date: dict[tuple[int, int], np.datetime64] = {}
+    event_count: dict[tuple[int, int], int] = {}
+    for user_id, book_id, read_date in zip(
+        merged.readings["user_id"],
+        merged.readings["book_id"],
+        merged.readings["read_date"],
+    ):
+        key = (users.index_of(str(user_id)), items.index_of(int(book_id)))
+        event_count[key] = event_count.get(key, 0) + 1
+        if key not in first_date or read_date < first_date[key]:
+            first_date[key] = read_date
+
+    per_user: dict[int, list[tuple[np.datetime64, int]]] = {}
+    for (user_index, item_index), date in first_date.items():
+        per_user.setdefault(user_index, []).append((date, item_index))
+
+    rng = derive_rng(config.seed, "split") if config.order == "random" else None
+    train_pairs: list[tuple[str, int]] = []
+    val_items: dict[int, np.ndarray] = {}
+    test_items: dict[int, np.ndarray] = {}
+    for user_index, dated in per_user.items():
+        ordered = [item for _, item in sorted(dated, key=lambda p: (p[0], p[1]))]
+        if rng is not None:
+            ordered = [ordered[i] for i in rng.permutation(len(ordered))]
+        is_bct = users.id_of(user_index) in bct_users
+        train_part, val_part, test_part = _cut(
+            ordered, config.test_fraction if is_bct else 0.0, config.val_fraction
+        )
+        user_id = str(users.id_of(user_index))
+        for item_index in train_part:
+            multiplicity = event_count[(user_index, item_index)]
+            train_pairs.extend(
+                [(user_id, items.id_of(item_index))] * multiplicity
+            )
+        if val_part:
+            val_items[user_index] = np.asarray(sorted(val_part), dtype=np.int64)
+        if test_part:
+            test_items[user_index] = np.asarray(sorted(test_part), dtype=np.int64)
+
+    train = InteractionMatrix.from_pairs(train_pairs, users=users, items=items)
+    bct_indices = np.asarray(
+        sorted(users.index_of(u) for u in bct_users), dtype=np.int64
+    )
+    return DatasetSplit(
+        train=train,
+        val_items=val_items,
+        test_items=test_items,
+        bct_user_indices=bct_indices,
+    )
+
+
+def _cut(
+    ordered: list[int], test_fraction: float, val_fraction: float
+) -> tuple[list[int], list[int], list[int]]:
+    """Split an ordered reading list into train / val / test tails.
+
+    The most recent ``test_fraction`` goes to test, then the most recent
+    ``val_fraction`` of the remainder to validation. Every split keeps at
+    least one training item; holdouts get at least one item only when the
+    list is long enough to afford it.
+    """
+    n = len(ordered)
+    n_test = int(n * test_fraction)
+    if test_fraction > 0 and n_test == 0 and n >= 3:
+        n_test = 1
+    remaining = n - n_test
+    n_val = int(remaining * val_fraction)
+    if val_fraction > 0 and n_val == 0 and remaining >= 3:
+        n_val = 1
+    n_train = n - n_test - n_val
+    if n_train < 1:
+        n_train, n_val = 1, max(0, remaining - 1)
+    train = ordered[:n_train]
+    val = ordered[n_train:n_train + n_val]
+    test = ordered[n_train + n_val:]
+    return train, val, test

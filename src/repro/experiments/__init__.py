@@ -1,0 +1,37 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment follows the same contract: ``run(context)`` takes an
+:class:`~repro.experiments.context.ExperimentContext` (which caches the
+generated dataset, the split, and fitted models so experiments sharing a
+workload do not refit) and returns a result object with a ``render()``
+method producing the table/series the paper prints.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========== ===========================================================
+``fig1``    CDFs of readings per user and per book
+``fig2``    genre shares of readings
+``table1``  URR/NRR/P/R/FR at k=20 for all five systems
+``fig3``    URR/NRR and P/R versus the number of recommended books k
+``fig4``    NRR by training-history size
+``fig5``    KPIs per metadata-summary composition
+``table2``  training and recommendation wall-clock time
+``gridsearch`` BPR hyper-parameter grid (validation URR)
+``ablation_*`` design-choice ablations (sampler, Anobii value, embedder
+            weighting, split protocol, loan-duration filter)
+``beyond_accuracy`` future work: diversity/novelty/serendipity/coverage
+``sequential``      future work: Markov-chain sequential recommendation
+========== ===========================================================
+"""
+
+from repro.experiments.config import ExperimentConfig, SCALES
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import available_experiments, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "SCALES",
+    "ExperimentContext",
+    "available_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,105 @@
+"""Design-choice ablations beyond the paper's published experiments.
+
+Three questions the reproduction can answer that the paper does not:
+
+- ``sampler`` — what does WARP's rank-weighted sampling buy over uniform
+  BPR negatives? (The paper chose WARP citing Weston et al.)
+- ``anobii`` — the paper shows the merged dataset beats BCT-only for BPR
+  and attributes CB quality to Anobii metadata; this ablation separates
+  the two contributions (extra readings vs richer metadata).
+- ``embedder`` — what does TF-IDF weighting contribute to the SBERT
+  substitute? (Plain hashed counts vs IDF-weighted.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.bpr import BPR
+from repro.core.closest_items import ClosestItems
+from repro.eval.evaluator import fit_and_evaluate
+from repro.eval.metrics import KPIReport
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import ascii_table
+from repro.text.embedder import HashedCountEmbedder
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Named KPI rows for one ablation table."""
+
+    title: str
+    k: int
+    rows: dict[str, KPIReport]
+
+    def render(self) -> str:
+        table_rows = [
+            [name, r.urr, r.nrr, r.precision, r.recall, round(r.first_rank)]
+            for name, r in self.rows.items()
+        ]
+        return f"{self.title} (k={self.k})\n" + ascii_table(
+            ["variant", "URR", "NRR", "P", "R", "FR"], table_rows
+        )
+
+
+def run_sampler_ablation(context: ExperimentContext) -> AblationResult:
+    """WARP versus uniform negative sampling for BPR."""
+    k = context.config.k
+    rows = {"warp (paper)": context.evaluation("bpr").report(k)}
+    uniform = BPR(
+        replace(context.config.bpr, sampler="uniform", seed=context.config.seed)
+    )
+    result = fit_and_evaluate(
+        uniform, context.split, context.merged, ks=(k,)
+    )
+    rows["uniform"] = result.report(k)
+    return AblationResult(
+        title="Ablation: BPR negative sampler", k=k, rows=rows
+    )
+
+
+def run_anobii_ablation(context: ExperimentContext) -> AblationResult:
+    """Separate Anobii's two contributions: readings (CF) and metadata (CB).
+
+    - BPR merged vs BPR BCT-only isolates the extra *readings*;
+    - Closest with author+genres (Anobii-enriched) vs title+author (the
+      only fields BCT itself carries) isolates the extra *metadata*.
+    """
+    k = context.config.k
+    rows = {
+        "BPR, merged readings": context.evaluation("bpr").report(k),
+        "BPR, BCT readings only": context.evaluation("bpr_bct_only").report(k),
+        "Closest, anobii metadata (author+genres)": context.evaluation(
+            "closest:author,genres"
+        ).report(k),
+        "Closest, BCT metadata only (title+author)": context.evaluation(
+            "closest:title,author"
+        ).report(k),
+    }
+    return AblationResult(
+        title="Ablation: value of the Anobii integration", k=k, rows=rows
+    )
+
+
+def run_embedder_ablation(context: ExperimentContext) -> AblationResult:
+    """TF-IDF weighting versus plain hashed counts in the CB embedder."""
+    k = context.config.k
+    rows = {"hashed tf-idf (default)": context.evaluation("closest").report(k)}
+    plain = ClosestItems(
+        fields=context.config.closest_fields,
+        embedder=HashedCountEmbedder(),
+    )
+    result = fit_and_evaluate(plain, context.split, context.merged, ks=(k,))
+    rows["hashed counts (no idf)"] = result.report(k)
+    return AblationResult(
+        title="Ablation: CB embedder weighting", k=k, rows=rows
+    )
+
+
+def run(context: ExperimentContext) -> tuple[AblationResult, ...]:
+    """All three ablations."""
+    return (
+        run_sampler_ablation(context),
+        run_anobii_ablation(context),
+        run_embedder_ablation(context),
+    )

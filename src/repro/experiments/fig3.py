@@ -1,0 +1,72 @@
+"""Fig. 3 — KPIs versus the number of recommended books k.
+
+Fig. 3a plots URR and NRR, Fig. 3b Precision and Recall, for k in [1, 50]
+and the Random Items, Closest Items, and BPR systems. The expected shapes:
+URR, NRR, and Recall grow with k; Precision falls; the model ordering
+(BPR >= Closest >> Random) holds at every k.
+
+One scoring pass per model computes every k (the evaluator ranks once and
+reads hits off the rank arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.metrics import KPIReport
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import ascii_chart, series_block
+
+DEFAULT_KS = (1, 2, 5, 10, 15, 20, 25, 30, 40, 50)
+
+MODELS = (
+    ("Random Items", "random"),
+    ("Closest Items", "closest"),
+    ("BPR", "bpr"),
+)
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """``series[model][k] -> KPIReport`` for each swept k."""
+
+    ks: tuple[int, ...]
+    series: dict[str, dict[int, KPIReport]]
+
+    def metric_series(self, model: str, metric: str) -> list[float]:
+        """One curve, e.g. ``metric_series("BPR", "urr")``."""
+        return [getattr(self.series[model][k], metric) for k in self.ks]
+
+    def render(self) -> str:
+        lines = [f"Fig. 3: KPIs varying k over {list(self.ks)}"]
+        for metric, label in (
+            ("urr", "URR"), ("nrr", "NRR"),
+            ("precision", "P"), ("recall", "R"),
+        ):
+            lines.append(f"[{label}]")
+            for name, _ in MODELS:
+                lines.append(
+                    "  " + series_block(name, self.ks,
+                                        self.metric_series(name, metric))
+                )
+        lines.append("")
+        lines.append(self.chart("urr"))
+        return "\n".join(lines)
+
+    def chart(self, metric: str) -> str:
+        """The Fig.-3 panel for one metric as an ASCII line chart."""
+        return ascii_chart(
+            self.ks,
+            {name: self.metric_series(name, metric) for name, _ in MODELS},
+            title=f"Fig. 3 — {metric.upper()} vs k",
+        )
+
+
+def run(
+    context: ExperimentContext, ks: tuple[int, ...] = DEFAULT_KS
+) -> Fig3Result:
+    series: dict[str, dict[int, KPIReport]] = {}
+    for name, key in MODELS:
+        result = context.evaluation(key, ks=ks)
+        series[name] = {k: result.report(k) for k in ks}
+    return Fig3Result(ks=ks, series=series)

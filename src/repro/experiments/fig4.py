@@ -1,0 +1,66 @@
+"""Fig. 4 — NRR by the number of books in the user's training history.
+
+Users are grouped into equal-population bins by training-history size; the
+paper's findings: every model's NRR grows with history (test sets grow
+too); the Closest Items model gains steeply and overtakes BPR in the
+largest bin, while BPR is comparatively flat — a few readings already let
+CF exploit the preferences of similar users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.groups import GroupKPIs, equal_population_bins, HistoryBin
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import ascii_chart, series_block
+
+MODELS = (
+    ("Random Items", "random"),
+    ("Closest Items", "closest"),
+    ("BPR", "bpr"),
+)
+
+N_BINS = 4
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Per-bin NRR series for the three plotted models."""
+
+    k: int
+    bins: tuple[HistoryBin, ...]
+    groups: dict[str, GroupKPIs]
+
+    def render(self) -> str:
+        labels = [b.label for b in self.bins]
+        lines = [
+            f"Fig. 4: NRR by training-history size (k={self.k}), "
+            f"bins: {labels} (n={[b.n_users for b in self.bins]})"
+        ]
+        for name, _ in MODELS:
+            lines.append(
+                "  " + series_block(name, labels, self.groups[name].nrr)
+            )
+        lines.append("")
+        lines.append(
+            ascii_chart(
+                labels,
+                {name: self.groups[name].nrr for name, _ in MODELS},
+                title="Fig. 4 — NRR by training-history bin",
+            )
+        )
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext) -> Fig4Result:
+    from repro.eval.groups import evaluate_by_history_size
+
+    k = context.config.k
+    reference = context.evaluation("bpr")
+    bins = equal_population_bins(reference.per_user.train_sizes, N_BINS)
+    groups = {
+        name: evaluate_by_history_size(context.evaluation(key), k, bins=bins)
+        for name, key in MODELS
+    }
+    return Fig4Result(k=k, bins=bins, groups=groups)

@@ -1,0 +1,59 @@
+"""Name -> experiment dispatch used by the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    duration_ablation,
+    extensions,
+    split_ablation,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    gridsearch,
+    table1,
+    table2,
+)
+from repro.experiments.context import ExperimentContext
+
+_EXPERIMENTS: dict[str, Callable[[ExperimentContext], object]] = {
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "table1": table1.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "table2": table2.run,
+    "gridsearch": gridsearch.run,
+    "beyond_accuracy": extensions.run_beyond_accuracy,
+    "sequential": extensions.run_sequential,
+    "ablation_split": split_ablation.run,
+    "ablation_duration": duration_ablation.run,
+}
+
+
+def available_experiments() -> tuple[str, ...]:
+    """All runnable experiment names (ablations are addressed individually)."""
+    return tuple(sorted(_EXPERIMENTS)) + (
+        "ablation_sampler", "ablation_anobii", "ablation_embedder",
+    )
+
+
+def run_experiment(name: str, context: ExperimentContext) -> object:
+    """Run one experiment by name; the result has a ``render()`` method."""
+    if name in _EXPERIMENTS:
+        return _EXPERIMENTS[name](context)
+    if name == "ablation_sampler":
+        return ablations.run_sampler_ablation(context)
+    if name == "ablation_anobii":
+        return ablations.run_anobii_ablation(context)
+    if name == "ablation_embedder":
+        return ablations.run_embedder_ablation(context)
+    raise ConfigurationError(
+        f"unknown experiment {name!r}; available: {available_experiments()}"
+    )

@@ -1,0 +1,81 @@
+"""Table 1 — KPIs of all five systems at k = 20.
+
+Paper values for reference (their data; ours reproduces the ordering and
+relative gaps, not the absolute numbers):
+
+=================  ====  ====  ====  ====  ===
+system             URR   NRR   P     R     FR
+=================  ====  ====  ====  ====  ===
+Random Items       0.07  0.07  0.00  0.01  370
+Most Read Items    0.03  0.03  0.00  0.01  556
+Closest Items      0.22  0.29  0.01  0.05  186
+BPR                0.26  0.35  0.02  0.08  130
+BPR (BCT only)     0.15  0.17  0.01  0.04  298
+=================  ====  ====  ====  ====  ===
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.bootstrap import PairedComparison, paired_bootstrap_difference
+from repro.eval.metrics import KPIReport
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import ascii_table
+
+#: Display name, context model key — Table 1's row order.
+SYSTEMS = (
+    ("Random Items", "random"),
+    ("Most Read Items", "most_read"),
+    ("Closest Items", "closest"),
+    ("BPR", "bpr"),
+    ("BPR (BCT only)", "bpr_bct_only"),
+)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """KPIs per system at the configured k, plus the CF-vs-CB significance
+    check (paired bootstrap over users — an addition to the paper, which
+    reports point estimates only)."""
+
+    k: int
+    rows: dict[str, KPIReport]
+    bpr_vs_closest: tuple[PairedComparison, ...] = ()
+
+    def render(self) -> str:
+        table_rows = []
+        for name, _ in SYSTEMS:
+            report = self.rows[name]
+            table_rows.append(
+                [name, report.urr, report.nrr, report.precision,
+                 report.recall, round(report.first_rank)]
+            )
+        header = f"Table 1: KPIs of the different RecSys with k={self.k}\n"
+        body = header + ascii_table(
+            ["system", "URR", "NRR", "P", "R", "FR"], table_rows
+        )
+        if self.bpr_vs_closest:
+            body += "\npaired bootstrap (addition to the paper):"
+            for comparison in self.bpr_vs_closest:
+                body += f"\n  {comparison}"
+        return body
+
+
+def run(context: ExperimentContext) -> Table1Result:
+    """Evaluate every Table-1 system on the test holdout."""
+    k = context.config.k
+    rows = {
+        name: context.evaluation(key).report(k) for name, key in SYSTEMS
+    }
+    comparisons = tuple(
+        paired_bootstrap_difference(
+            context.evaluation("bpr"),
+            context.evaluation("closest"),
+            metric,
+            k,
+            seed=context.config.seed,
+        )
+        for metric in ("urr", "nrr")
+    )
+    return Table1Result(k=k, rows=rows, bpr_vs_closest=comparisons)

@@ -1,0 +1,32 @@
+"""The Section-3 preprocessing pipeline.
+
+Order of operations, as in the paper:
+
+1. :mod:`repro.pipeline.cleaning` — source-level filters: Italian
+   monographs/manuscripts for BCT, Italian book items for Anobii, and the
+   positive-feedback filter (rating >= 3).
+2. :mod:`repro.pipeline.genres` — clean the crowd-voted genres (drop
+   ubiquitous and rare labels, entropy-guided aggregation, top-4 with
+   vote-proportional probabilities).
+3. :mod:`repro.pipeline.merge` — align the catalogues on a normalised
+   (title, author) key, build the unified Readings table, apply the
+   activity filters (users >= 10 readings, books above the popularity
+   floor), and emit a validated :class:`repro.datasets.MergedDataset`.
+4. :mod:`repro.pipeline.stats` — dataset characterisation used by Figs 1-2.
+"""
+
+from repro.pipeline.cleaning import clean_anobii, clean_bct
+from repro.pipeline.genres import GenreModel, build_genre_model
+from repro.pipeline.merge import MergeConfig, MergeReport, build_merged_dataset
+from repro.pipeline import stats
+
+__all__ = [
+    "clean_anobii",
+    "clean_bct",
+    "GenreModel",
+    "build_genre_model",
+    "MergeConfig",
+    "MergeReport",
+    "build_merged_dataset",
+    "stats",
+]

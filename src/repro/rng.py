@@ -1,0 +1,58 @@
+"""Seeded random-number helpers.
+
+All stochastic components of the library (synthetic data generation, the
+Random Items baseline, BPR negative sampling, train/test splitting) draw
+their randomness through this module so that a single integer seed makes an
+entire experiment reproducible.
+
+The helpers wrap :class:`numpy.random.Generator`; child streams are derived
+with :func:`numpy.random.SeedSequence.spawn` semantics via
+:func:`derive_rng`, so two components seeded from the same parent never share
+a stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+DEFAULT_SEED = 20230101
+"""Default seed used across the library (an arbitrary fixed constant)."""
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an integer seed, an existing generator (returned unchanged, which
+    lets callers thread one stream through a pipeline), or ``None`` for the
+    library default seed.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def derive_rng(seed: int | None, *scope: str) -> np.random.Generator:
+    """Derive an independent generator for a named component.
+
+    ``scope`` strings (for example ``("bpr", "negatives")``) are hashed into
+    the seed material, so distinct components obtain independent streams from
+    the same experiment seed while remaining fully deterministic.
+    """
+    if seed is None:
+        seed = DEFAULT_SEED
+    material = [seed]
+    for name in scope:
+        material.append(zlib.crc32(name.encode("utf-8")))
+    return np.random.default_rng(np.random.SeedSequence(material))
+
+
+def spawn_seeds(seed: int | None, count: int) -> list[int]:
+    """Return ``count`` independent integer seeds derived from ``seed``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = make_rng(seed)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=count)]

@@ -1,0 +1,175 @@
+"""CSV and JSONL round-trips for :class:`repro.tables.Table`.
+
+Both formats store a typed header so a table reloads with its exact schema:
+CSV uses a ``name:dtype`` header convention, JSONL writes a leading schema
+record. These files are how synthetic dataset dumps are persisted and how
+the example applications exchange data.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TableIOError
+from repro.tables.schema import Column, Schema
+from repro.tables.table import Table
+
+_MISSING = ""
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as CSV with a typed ``name:dtype`` header."""
+    path = Path(path)
+    try:
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(f"{c.name}:{c.dtype}" for c in table.schema)
+            columns = [table[name] for name in table.column_names]
+            for i in range(table.num_rows):
+                writer.writerow(_to_cell(col[i]) for col in columns)
+    except OSError as exc:
+        raise TableIOError(f"cannot write CSV to {path}: {exc}") from exc
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a table previously written by :func:`write_csv`."""
+    path = Path(path)
+    try:
+        with path.open("r", newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise TableIOError(f"{path} is empty; expected a typed header")
+            schema = _parse_header(header, path)
+            buffers: list[list[str]] = [[] for _ in schema]
+            for line_no, row in enumerate(reader, start=2):
+                if len(row) != len(schema):
+                    raise TableIOError(
+                        f"{path}:{line_no}: expected {len(schema)} cells, "
+                        f"got {len(row)}"
+                    )
+                for buffer, cell in zip(buffers, row):
+                    buffer.append(cell)
+    except OSError as exc:
+        raise TableIOError(f"cannot read CSV from {path}: {exc}") from exc
+    columns = {
+        column.name: _from_cells(values, column)
+        for column, values in zip(schema, buffers)
+    }
+    return Table(schema, columns)
+
+
+def write_jsonl(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as JSONL with a leading schema record."""
+    path = Path(path)
+    try:
+        with path.open("w", encoding="utf-8") as handle:
+            schema_record = {
+                "__schema__": [[c.name, c.dtype] for c in table.schema]
+            }
+            handle.write(json.dumps(schema_record) + "\n")
+            for row in table.iter_rows():
+                handle.write(json.dumps(_jsonable(row)) + "\n")
+    except OSError as exc:
+        raise TableIOError(f"cannot write JSONL to {path}: {exc}") from exc
+
+
+def read_jsonl(path: str | Path) -> Table:
+    """Read a table previously written by :func:`write_jsonl`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            first = handle.readline()
+            if not first:
+                raise TableIOError(f"{path} is empty; expected a schema record")
+            try:
+                schema_record = json.loads(first)
+                pairs = schema_record["__schema__"]
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise TableIOError(
+                    f"{path}: first line is not a schema record: {exc}"
+                ) from exc
+            schema = Schema([Column(name, dtype) for name, dtype in pairs])
+            buffers: dict[str, list] = {name: [] for name in schema.names}
+            for line_no, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TableIOError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+                for name in schema.names:
+                    if name not in record:
+                        raise TableIOError(
+                            f"{path}:{line_no}: missing field {name!r}"
+                        )
+                    buffers[name].append(record[name])
+    except OSError as exc:
+        raise TableIOError(f"cannot read JSONL from {path}: {exc}") from exc
+    columns = {
+        column.name: schema.coerce_column(column.name, buffers[column.name])
+        for column in schema
+    }
+    return Table(schema, columns)
+
+
+def _parse_header(header: list[str], path: Path) -> Schema:
+    columns = []
+    for cell in header:
+        name, sep, dtype = cell.rpartition(":")
+        if not sep or not name:
+            raise TableIOError(
+                f"{path}: header cell {cell!r} is not in 'name:dtype' form"
+            )
+        columns.append(Column(name, dtype))
+    return Schema(columns)
+
+
+def _to_cell(value: object) -> str:
+    if value is None:
+        return _MISSING
+    if isinstance(value, np.datetime64):
+        return str(value)
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _from_cells(values: list[str], column: Column) -> np.ndarray:
+    if column.dtype == "int":
+        return np.asarray([int(v) for v in values], dtype=np.int64)
+    if column.dtype == "float":
+        return np.asarray(
+            [float(v) if v != _MISSING else np.nan for v in values], dtype=np.float64
+        )
+    if column.dtype == "bool":
+        return np.asarray([v == "true" for v in values], dtype=np.bool_)
+    if column.dtype == "date":
+        return np.asarray(values, dtype="datetime64[D]")
+    array = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        array[i] = value
+    return array
+
+
+def _jsonable(row: dict[str, object]) -> dict[str, object]:
+    import datetime
+
+    out = {}
+    for name, value in row.items():
+        if isinstance(value, np.datetime64):
+            out[name] = str(value)
+        elif isinstance(value, datetime.date):
+            out[name] = value.isoformat()
+        elif isinstance(value, np.generic):
+            out[name] = value.item()
+        else:
+            out[name] = value
+    return out

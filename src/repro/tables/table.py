@@ -1,0 +1,400 @@
+"""The columnar :class:`Table` and its relational operations.
+
+Tables are immutable: every operation returns a new table that shares the
+unchanged column arrays with its parent (copy-on-write at column
+granularity). Columns are numpy arrays, so predicates are vectorised masks
+(``table["loans"] > 10``) and aggregations run at numpy speed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ColumnNotFoundError, SchemaError
+from repro.tables.schema import Column, Schema, infer_schema
+
+
+class Table:
+    """An immutable, typed, columnar table."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]) -> None:
+        if set(columns) != set(schema.names):
+            raise SchemaError(
+                f"columns {sorted(columns)} do not match schema {schema.names}"
+            )
+        lengths = {name: len(array) for name, array in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"columns have differing lengths: {lengths}")
+        self._schema = schema
+        self._columns = {name: columns[name] for name in schema.names}
+        self._num_rows = next(iter(lengths.values())) if lengths else 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls, columns: Mapping[str, Sequence], schema: Schema | None = None
+    ) -> "Table":
+        """Build a table from a mapping of column name to values.
+
+        When ``schema`` is omitted it is inferred from the values.
+        """
+        if schema is None:
+            schema = infer_schema(dict(columns))
+        coerced = {
+            name: schema.coerce_column(name, values) for name, values in columns.items()
+        }
+        return cls(schema, coerced)
+
+    @classmethod
+    def from_rows(
+        cls, rows: Iterable[Mapping[str, object]], schema: Schema
+    ) -> "Table":
+        """Build a table from an iterable of row dicts, validated by ``schema``."""
+        buffers: dict[str, list] = {name: [] for name in schema.names}
+        for i, row in enumerate(rows):
+            missing = set(schema.names) - set(row)
+            if missing:
+                raise SchemaError(f"row {i} is missing columns {sorted(missing)}")
+            for name in schema.names:
+                buffers[name].append(row[name])
+        return cls.from_columns(buffers, schema=schema)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """Return a zero-row table with the given schema."""
+        return cls.from_columns({name: [] for name in schema.names}, schema=schema)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self._schema.names
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ColumnNotFoundError(name, self.column_names) from None
+
+    def column(self, name: str) -> np.ndarray:
+        """Alias of ``table[name]`` for readability in pipelines."""
+        return self[name]
+
+    def row(self, index: int) -> dict[str, object]:
+        """Return row ``index`` as a plain dict (scalars unwrapped)."""
+        if not -self._num_rows <= index < self._num_rows:
+            raise IndexError(f"row {index} out of range for {self._num_rows} rows")
+        return {name: _unwrap(self._columns[name][index]) for name in self.column_names}
+
+    def iter_rows(self) -> Iterator[dict[str, object]]:
+        """Iterate over rows as dicts. Convenient but slow; prefer columns."""
+        for i in range(self._num_rows):
+            yield self.row(i)
+
+    def to_pylist(self) -> list[dict[str, object]]:
+        """Materialise the table as a list of row dicts."""
+        return list(self.iter_rows())
+
+    def __repr__(self) -> str:
+        return f"Table({self._num_rows} rows, schema={self._schema!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self._schema != other._schema or self._num_rows != other._num_rows:
+            return False
+        for name in self.column_names:
+            left, right = self._columns[name], other._columns[name]
+            if self._schema[name].dtype == "float":
+                if not np.allclose(left, right, equal_nan=True):
+                    return False
+            elif not np.array_equal(left, right):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # relational operations
+    # ------------------------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project the table onto ``names`` (order preserved as given)."""
+        schema = self._schema.select(names)
+        return Table(schema, {name: self._columns[name] for name in names})
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        """Return the table without the given columns."""
+        for name in names:
+            if name not in self._schema:
+                raise ColumnNotFoundError(name, self.column_names)
+        keep = [name for name in self.column_names if name not in set(names)]
+        return self.select(keep)
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        """Rename columns per ``mapping`` (old name -> new name)."""
+        schema = self._schema.rename(mapping)
+        columns = {
+            mapping.get(name, name): array for name, array in self._columns.items()
+        }
+        return Table(schema, columns)
+
+    def filter(self, mask: np.ndarray | Callable[["Table"], np.ndarray]) -> "Table":
+        """Keep rows where ``mask`` is True.
+
+        ``mask`` is either a boolean array of length ``num_rows`` or a
+        callable receiving the table and returning such an array.
+        """
+        if callable(mask):
+            mask = mask(self)
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != (self._num_rows,):
+            raise SchemaError(
+                f"filter mask must be a boolean array of length {self._num_rows}, "
+                f"got dtype={mask.dtype} shape={mask.shape}"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def take(self, indices: np.ndarray | Sequence[int]) -> "Table":
+        """Return the rows at ``indices`` (gather; duplicates allowed)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        columns = {name: array[indices] for name, array in self._columns.items()}
+        return Table(self._schema, columns)
+
+    def head(self, n: int = 10) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.take(np.arange(min(n, self._num_rows)))
+
+    def sort(self, by: str | Sequence[str], descending: bool = False) -> "Table":
+        """Stable sort by one or more columns."""
+        names = [by] if isinstance(by, str) else list(by)
+        if not names:
+            raise SchemaError("sort requires at least one column")
+        keys = [self._sortable(name) for name in reversed(names)]
+        order = np.lexsort(keys)
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def _sortable(self, name: str) -> np.ndarray:
+        array = self[name]
+        if array.dtype == object:
+            return np.asarray([value if value is not None else "" for value in array])
+        return array
+
+    def with_column(self, name: str, values: Sequence, dtype: str | None = None) -> "Table":
+        """Return a table with ``name`` added (or replaced) by ``values``."""
+        if dtype is None:
+            dtype = infer_schema({name: values})[name].dtype
+        new_column = Column(name, dtype)
+        columns = dict(self._columns)
+        if name in self._schema:
+            schema = Schema(
+                [new_column if c.name == name else c for c in self._schema]
+            )
+        else:
+            schema = Schema(list(self._schema) + [new_column])
+        columns[name] = schema.coerce_column(name, values)
+        if len(columns[name]) != self._num_rows:
+            raise SchemaError(
+                f"new column {name!r} has {len(columns[name])} values, "
+                f"expected {self._num_rows}"
+            )
+        return Table(schema, columns)
+
+    def unique(self, name: str) -> np.ndarray:
+        """Return the sorted unique values of a column."""
+        array = self[name]
+        if array.dtype == object:
+            return np.asarray(sorted({value for value in array}))
+        return np.unique(array)
+
+    def value_counts(self, name: str) -> dict[object, int]:
+        """Return ``{value: occurrence count}`` for a column."""
+        values, counts = np.unique(self._sortable(name), return_counts=True)
+        return {
+            _unwrap(value): int(count) for value, count in zip(values, counts)
+        }
+
+    def group_by(self, by: str | Sequence[str]) -> "GroupedTable":
+        """Group rows by one or more key columns."""
+        names = [by] if isinstance(by, str) else list(by)
+        if not names:
+            raise SchemaError("group_by requires at least one column")
+        for name in names:
+            self[name]  # raises ColumnNotFoundError early
+        return GroupedTable(self, names)
+
+    def join(
+        self,
+        other: "Table",
+        on: str | Sequence[str],
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> "Table":
+        """Hash join with ``other`` on the given key column(s).
+
+        Supports ``how`` in {"inner", "left"}. Non-key columns of ``other``
+        that collide with columns of ``self`` are renamed with ``suffix``.
+        For left joins, unmatched right-side values are NaN for floats,
+        ``None`` for strings, and raise for int/bool/date columns (those
+        dtypes have no missing-value representation; select or filter first).
+        """
+        keys = [on] if isinstance(on, str) else list(on)
+        if how not in ("inner", "left"):
+            raise SchemaError(f"unsupported join type {how!r}; use 'inner' or 'left'")
+        for key in keys:
+            if self._schema[key].dtype != other._schema[key].dtype:
+                raise SchemaError(
+                    f"join key {key!r} has dtype {self._schema[key].dtype} on the "
+                    f"left and {other._schema[key].dtype} on the right"
+                )
+
+        right_index: dict[tuple, list[int]] = {}
+        right_keys = _key_rows(other, keys)
+        for i, key in enumerate(right_keys):
+            right_index.setdefault(key, []).append(i)
+
+        left_rows: list[int] = []
+        right_rows: list[int] = []  # -1 marks "no match" (left join only)
+        for i, key in enumerate(_key_rows(self, keys)):
+            matches = right_index.get(key)
+            if matches:
+                left_rows.extend([i] * len(matches))
+                right_rows.extend(matches)
+            elif how == "left":
+                left_rows.append(i)
+                right_rows.append(-1)
+
+        left_part = self.take(np.asarray(left_rows, dtype=np.int64))
+        result_columns = dict(left_part._columns)
+        result_schema = list(left_part._schema)
+
+        right_rows_arr = np.asarray(right_rows, dtype=np.int64)
+        unmatched = right_rows_arr < 0
+        for column in other._schema:
+            if column.name in keys:
+                continue
+            out_name = column.name
+            if out_name in self._schema:
+                out_name = out_name + suffix
+                if out_name in self._schema:
+                    raise SchemaError(
+                        f"column {column.name!r} collides even after suffixing"
+                    )
+            gathered = other._columns[column.name][np.where(unmatched, 0, right_rows_arr)]
+            if unmatched.any():
+                gathered = _mask_missing(gathered, unmatched, column)
+            result_columns[out_name] = gathered
+            result_schema.append(Column(out_name, column.dtype))
+        return Table(Schema(result_schema), result_columns)
+
+
+def _key_rows(table: Table, keys: Sequence[str]) -> list[tuple]:
+    columns = [table[key] for key in keys]
+    return [tuple(_unwrap(col[i]) for col in columns) for i in range(table.num_rows)]
+
+
+def _mask_missing(array: np.ndarray, unmatched: np.ndarray, column: Column) -> np.ndarray:
+    if column.dtype == "float":
+        out = array.astype(np.float64, copy=True)
+        out[unmatched] = np.nan
+        return out
+    if column.dtype == "str":
+        out = array.copy()
+        out[unmatched] = None
+        return out
+    raise SchemaError(
+        f"left join produced missing values for column {column.name!r} of dtype "
+        f"{column.dtype}, which has no missing-value representation"
+    )
+
+
+def _unwrap(value: object) -> object:
+    """Convert numpy scalar types to plain python for row dicts and keys."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+class GroupedTable:
+    """The result of :meth:`Table.group_by`: grouped row indices plus keys."""
+
+    def __init__(self, table: Table, keys: Sequence[str]) -> None:
+        self._table = table
+        self._keys = list(keys)
+        index: dict[tuple, list[int]] = {}
+        for i, key in enumerate(_key_rows(table, self._keys)):
+            index.setdefault(key, []).append(i)
+        self._groups = index
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[tuple[tuple, Table]]:
+        """Iterate ``(key_tuple, sub_table)`` pairs in first-seen order."""
+        for key, rows in self._groups.items():
+            yield key, self._table.take(np.asarray(rows, dtype=np.int64))
+
+    def sizes(self) -> dict[tuple, int]:
+        """Return ``{key_tuple: group size}``."""
+        return {key: len(rows) for key, rows in self._groups.items()}
+
+    def aggregate(
+        self, spec: Mapping[str, tuple[str, Callable[[np.ndarray], object]]]
+    ) -> Table:
+        """Aggregate each group into one output row.
+
+        ``spec`` maps an output column name to ``(input column, function)``
+        where the function reduces a numpy array to a scalar, e.g.
+        ``{"n_loans": ("loan_id", ops.count)}``. Key columns are always
+        included in the output.
+        """
+        out: dict[str, list] = {key: [] for key in self._keys}
+        for name in spec:
+            if name in out:
+                raise SchemaError(
+                    f"aggregate output {name!r} collides with a group key"
+                )
+            out[name] = []
+        for key, rows in self._groups.items():
+            for key_name, key_value in zip(self._keys, key):
+                out[key_name].append(key_value)
+            indices = np.asarray(rows, dtype=np.int64)
+            for name, (source, func) in spec.items():
+                out[name].append(func(self._table[source][indices]))
+        return Table.from_columns(out)
+
+
+def concat_tables(tables: Sequence[Table]) -> Table:
+    """Concatenate tables with identical schemas, preserving row order."""
+    if not tables:
+        raise SchemaError("concat_tables requires at least one table")
+    schema = tables[0].schema
+    for table in tables[1:]:
+        if table.schema != schema:
+            raise SchemaError(
+                f"cannot concat tables with different schemas: "
+                f"{schema!r} vs {table.schema!r}"
+            )
+    columns = {
+        name: np.concatenate([table[name] for table in tables])
+        for name in schema.names
+    }
+    return Table(schema, columns)

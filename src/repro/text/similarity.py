@@ -1,0 +1,51 @@
+"""Cosine-similarity kernels over embedding matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def cosine_similarity_matrix(
+    left: np.ndarray, right: np.ndarray | None = None
+) -> np.ndarray:
+    """Pairwise cosine similarity between the rows of two matrices.
+
+    Rows do not need to be pre-normalised; zero rows yield zero similarity
+    rather than NaN. Returns an ``(n_left, n_right)`` matrix.
+    """
+    left = np.asarray(left, dtype=np.float64)
+    right = left if right is None else np.asarray(right, dtype=np.float64)
+    if left.ndim != 2 or right.ndim != 2 or left.shape[1] != right.shape[1]:
+        raise ConfigurationError(
+            f"incompatible shapes for cosine similarity: "
+            f"{left.shape} vs {right.shape}"
+        )
+    left_normed = _normalize_rows(left)
+    right_normed = left_normed if right is left else _normalize_rows(right)
+    # Rounding at extreme magnitudes can push a product epsilon past the
+    # mathematical bounds; clip so downstream code can rely on [-1, 1].
+    return np.clip(left_normed @ right_normed.T, -1.0, 1.0)
+
+
+def average_similarity_to_history(
+    similarity: np.ndarray, history: np.ndarray
+) -> np.ndarray:
+    """Mean similarity of every catalogue item to a set of history items.
+
+    Implements Equation (1) of the paper: given the full item-item
+    similarity matrix and the indices of the books a user has read, return
+    ``s_b`` for every book ``b`` (including read ones — the caller masks
+    them out).
+    """
+    history = np.asarray(history, dtype=np.int64)
+    if history.size == 0:
+        return np.zeros(similarity.shape[0], dtype=np.float64)
+    return similarity[:, history].mean(axis=1)
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    safe = np.where(norms > 0, norms, 1.0)
+    return matrix / safe

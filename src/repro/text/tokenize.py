@@ -1,0 +1,83 @@
+"""Text normalisation and tokenisation for the embedding substrate."""
+
+from __future__ import annotations
+
+import unicodedata
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TokenizerConfig:
+    """What features :func:`tokenize` extracts from a normalised string.
+
+    Word tokens capture exact shared vocabulary (author names, genre
+    labels); character n-grams capture partial matches (inflected forms,
+    multi-word names split differently across sources).
+    """
+
+    use_words: bool = True
+    char_ngram_min: int = 3
+    char_ngram_max: int = 4
+    use_char_ngrams: bool = True
+
+    def __post_init__(self) -> None:
+        if self.use_char_ngrams and not (
+            1 <= self.char_ngram_min <= self.char_ngram_max
+        ):
+            raise ConfigurationError(
+                f"invalid char n-gram range "
+                f"[{self.char_ngram_min}, {self.char_ngram_max}]"
+            )
+        if not self.use_words and not self.use_char_ngrams:
+            raise ConfigurationError(
+                "tokenizer must extract at least one feature family"
+            )
+
+
+def normalize_text(text: str) -> str:
+    """Lower-case, strip accents, and collapse non-alphanumerics to spaces."""
+    decomposed = unicodedata.normalize("NFKD", text.lower())
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    cleaned = "".join(ch if ch.isalnum() else " " for ch in stripped)
+    return " ".join(cleaned.split())
+
+
+def word_tokens(normalized: str) -> list[str]:
+    """Whitespace word tokens of an already-normalised string."""
+    return normalized.split()
+
+
+def char_ngrams(token: str, n_min: int, n_max: int) -> list[str]:
+    """Character n-grams of a token, with ``#`` boundary markers.
+
+    Boundary markers make prefixes/suffixes distinct features, which is what
+    lets hashed n-grams approximate subword similarity.
+    """
+    padded = f"#{token}#"
+    grams = []
+    for n in range(n_min, n_max + 1):
+        if len(padded) < n:
+            continue
+        grams.extend(padded[i:i + n] for i in range(len(padded) - n + 1))
+    return grams
+
+
+def tokenize(text: str, config: TokenizerConfig | None = None) -> list[str]:
+    """Extract the configured feature tokens from raw text.
+
+    Word features are prefixed ``w=`` and n-grams ``c=`` so the two families
+    never collide in the hashing space by carrying identical strings.
+    """
+    config = config or TokenizerConfig()
+    features: list[str] = []
+    for token in word_tokens(normalize_text(text)):
+        if config.use_words:
+            features.append(f"w={token}")
+        if config.use_char_ngrams:
+            features.extend(
+                f"c={gram}"
+                for gram in char_ngrams(token, config.char_ngram_min, config.char_ngram_max)
+            )
+    return features

@@ -1,0 +1,75 @@
+"""Tests for dataset/model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.app.persistence import load_bpr, load_dataset, save_bpr, save_dataset
+from repro.errors import PersistenceError
+
+
+class TestDatasetRoundtrip:
+    def test_roundtrip_preserves_tables(self, tiny_merged, tmp_path):
+        save_dataset(tiny_merged, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.books == tiny_merged.books
+        assert loaded.readings == tiny_merged.readings
+        assert loaded.genres == tiny_merged.genres
+
+    def test_loaded_dataset_validates(self, tiny_merged, tmp_path):
+        save_dataset(tiny_merged, tmp_path / "ds")
+        load_dataset(tmp_path / "ds").validate()
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(PersistenceError, match="not a saved dataset"):
+            load_dataset(tmp_path / "nowhere")
+
+    def test_partial_directory(self, tiny_merged, tmp_path):
+        save_dataset(tiny_merged, tmp_path / "ds")
+        (tmp_path / "ds" / "genres.csv").unlink()
+        with pytest.raises(PersistenceError, match="genres.csv"):
+            load_dataset(tmp_path / "ds")
+
+
+class TestBPRRoundtrip:
+    def test_scores_identical_after_reload(self, tiny_bpr, tiny_split, tmp_path):
+        path = tmp_path / "model.npz"
+        save_bpr(tiny_bpr, tiny_split.train, path)
+        loaded, train = load_bpr(path)
+        users = np.asarray([0, 1, 2])
+        assert np.allclose(
+            loaded.score_users(users), tiny_bpr.score_users(users)
+        )
+
+    def test_train_matrix_restored(self, tiny_bpr, tiny_split, tmp_path):
+        path = tmp_path / "model.npz"
+        save_bpr(tiny_bpr, tiny_split.train, path)
+        _, train = load_bpr(path)
+        assert train.n_users == tiny_split.train.n_users
+        assert train.users == tiny_split.train.users
+        assert np.array_equal(
+            train.user_items(0), tiny_split.train.user_items(0)
+        )
+
+    def test_config_restored(self, tiny_bpr, tiny_split, tmp_path):
+        path = tmp_path / "model.npz"
+        save_bpr(tiny_bpr, tiny_split.train, path)
+        loaded, _ = load_bpr(path)
+        assert loaded.config == tiny_bpr.config
+
+    def test_recommendations_survive_reload(self, tiny_bpr, tiny_split, tmp_path):
+        path = tmp_path / "model.npz"
+        save_bpr(tiny_bpr, tiny_split.train, path)
+        loaded, _ = load_bpr(path)
+        assert (
+            loaded.recommend(0, 5).tolist() == tiny_bpr.recommend(0, 5).tolist()
+        )
+
+    def test_suffix_added_when_missing(self, tiny_bpr, tiny_split, tmp_path):
+        bare = tmp_path / "model"
+        save_bpr(tiny_bpr, tiny_split.train, bare)  # numpy appends .npz
+        loaded, _ = load_bpr(bare)
+        assert loaded.is_fitted
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no saved model"):
+            load_bpr(tmp_path / "ghost.npz")

@@ -1,0 +1,109 @@
+"""Tests for the recommendation service (the GUI request path)."""
+
+import pytest
+
+from repro.app.service import RecommendationRequest, RecommendationService
+from repro.core.most_read import MostReadItems
+from repro.errors import ConfigurationError, UnknownUserError
+
+
+@pytest.fixture(scope="module")
+def service(tiny_bpr, tiny_split, tiny_merged):
+    return RecommendationService(tiny_bpr, tiny_split.train, tiny_merged)
+
+
+@pytest.fixture(scope="module")
+def a_user(tiny_merged):
+    return tiny_merged.bct_user_ids[0]
+
+
+class TestConstruction:
+    def test_requires_fitted_model(self, tiny_split, tiny_merged):
+        with pytest.raises(ConfigurationError, match="fitted"):
+            RecommendationService(MostReadItems(), tiny_split.train, tiny_merged)
+
+
+class TestRequests:
+    def test_request_validates_k(self):
+        with pytest.raises(ConfigurationError):
+            RecommendationRequest(user_id="u", k=0)
+
+    def test_default_k_is_20(self):
+        assert RecommendationRequest(user_id="u").k == 20
+
+    def test_recommend_returns_ranked_cards(self, service, a_user):
+        books = service.recommend(RecommendationRequest(user_id=a_user, k=5))
+        assert len(books) == 5
+        assert [b.rank for b in books] == [1, 2, 3, 4, 5]
+        assert all(b.title and b.author for b in books)
+
+    def test_recommendations_exclude_history(self, service, a_user):
+        history_ids = {b.book_id for b in service.history(a_user)}
+        recommended = service.recommend(
+            RecommendationRequest(user_id=a_user, k=10)
+        )
+        assert not history_ids & {b.book_id for b in recommended}
+
+    def test_unknown_user(self, service):
+        with pytest.raises(UnknownUserError):
+            service.recommend(RecommendationRequest(user_id="stranger"))
+        assert not service.known_user("stranger")
+
+    def test_history_unknown_user(self, service):
+        with pytest.raises(UnknownUserError):
+            service.history("stranger")
+
+
+class TestColdStartFallback:
+    def test_unknown_user_gets_most_read(
+        self, tiny_bpr, tiny_split, tiny_merged
+    ):
+        fallback = MostReadItems().fit(tiny_split.train, tiny_merged)
+        service = RecommendationService(
+            tiny_bpr, tiny_split.train, tiny_merged,
+            cold_start_fallback=fallback,
+        )
+        books = service.recommend(RecommendationRequest("newcomer", k=5))
+        expected = [
+            int(tiny_split.train.items.id_of(int(i)))
+            for i in fallback.top_items(5)
+        ]
+        assert [b.book_id for b in books] == expected
+
+    def test_known_users_still_personalised(
+        self, tiny_bpr, tiny_split, tiny_merged, a_user
+    ):
+        fallback = MostReadItems().fit(tiny_split.train, tiny_merged)
+        service = RecommendationService(
+            tiny_bpr, tiny_split.train, tiny_merged,
+            cold_start_fallback=fallback,
+        )
+        plain = RecommendationService(tiny_bpr, tiny_split.train, tiny_merged)
+        with_fb = service.recommend(RecommendationRequest(a_user, k=5))
+        without = plain.recommend(RecommendationRequest(a_user, k=5))
+        assert [b.book_id for b in with_fb] == [b.book_id for b in without]
+
+    def test_fallback_must_be_fitted(self, tiny_bpr, tiny_split, tiny_merged):
+        with pytest.raises(ConfigurationError, match="fallback"):
+            RecommendationService(
+                tiny_bpr, tiny_split.train, tiny_merged,
+                cold_start_fallback=MostReadItems(),
+            )
+
+
+class TestStats:
+    def test_latency_accounting(self, tiny_bpr, tiny_split, tiny_merged, a_user):
+        service = RecommendationService(tiny_bpr, tiny_split.train, tiny_merged)
+        for _ in range(3):
+            service.recommend(RecommendationRequest(user_id=a_user, k=5))
+        assert service.stats.requests == 3
+        assert service.stats.mean_seconds > 0
+        assert service.stats.percentile(0.5) > 0
+        assert len(service.stats.latencies) == 3
+
+    def test_empty_stats(self, service):
+        from repro.app.service import ServiceStats
+
+        stats = ServiceStats()
+        assert stats.mean_seconds == 0.0
+        assert stats.percentile(0.9) == 0.0

@@ -1,0 +1,75 @@
+"""Tests for the Item kNN extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.interactions import InteractionMatrix
+from repro.core.item_knn import ItemKNN
+from repro.errors import ConfigurationError, NotFittedError
+
+
+@pytest.fixture
+def train():
+    # Items 0 and 1 are always co-read; item 2 is read alone.
+    return InteractionMatrix.from_pairs(
+        [("a", 0), ("a", 1), ("b", 0), ("b", 1), ("c", 2), ("d", 0), ("d", 1)]
+    )
+
+
+class TestConfig:
+    def test_invalid_neighbors(self):
+        with pytest.raises(ConfigurationError):
+            ItemKNN(n_neighbors=0)
+
+    def test_invalid_shrinkage(self):
+        with pytest.raises(ConfigurationError):
+            ItemKNN(shrinkage=-1.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            ItemKNN().similarity
+
+
+class TestSimilarity:
+    def test_coread_items_similar(self, train):
+        model = ItemKNN(shrinkage=0.0).fit(train)
+        sim = model.similarity
+        assert sim[0, 1] > sim[0, 2]
+        assert sim[0, 1] == pytest.approx(1.0)
+
+    def test_diagonal_zero(self, train):
+        model = ItemKNN(shrinkage=0.0).fit(train)
+        assert np.allclose(np.diag(model.similarity), 0.0)
+
+    def test_shrinkage_discounts(self, train):
+        raw = ItemKNN(shrinkage=0.0).fit(train).similarity[0, 1]
+        shrunk = ItemKNN(shrinkage=5.0).fit(train).similarity[0, 1]
+        assert shrunk < raw
+
+    def test_neighbor_truncation(self):
+        # Item 0's co-read strength: item 1 (3 users) > 2 (2) > 3 (1).
+        pairs = [
+            ("u1", 0), ("u1", 1),
+            ("u2", 0), ("u2", 1),
+            ("u3", 0), ("u3", 1), ("u3", 2),
+            ("u4", 0), ("u4", 2),
+            ("u5", 0), ("u5", 3),
+            ("u6", 4),
+        ]
+        train = InteractionMatrix.from_pairs(pairs)
+        model = ItemKNN(n_neighbors=2, shrinkage=0.0).fit(train)
+        row = model.similarity[0]
+        assert row[1] > 0 and row[2] > 0
+        assert row[3] == 0.0  # truncated: weaker than the top-2 neighbours
+
+
+class TestRecommendation:
+    def test_recommends_coread_partner(self, train):
+        model = ItemKNN(shrinkage=0.0).fit(train)
+        # User "e" who read only item 0 should be recommended item 1.
+        extended = InteractionMatrix.from_pairs(
+            [("a", 0), ("a", 1), ("b", 0), ("b", 1), ("e", 0)],
+        )
+        model = ItemKNN(shrinkage=0.0).fit(extended)
+        user = extended.users.index_of("e")
+        assert model.recommend(user, 1).tolist() == [1]

@@ -1,0 +1,49 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.core import BPR, ClosestItems, available_models, create_model, register_model
+from repro.core.bpr import BPRConfig
+from repro.errors import ConfigurationError, UnknownModelError
+
+
+class TestRegistry:
+    def test_builtin_models_registered(self):
+        names = available_models()
+        for expected in ("random", "most_read", "closest", "bpr", "item_knn"):
+            assert expected in names
+
+    def test_create_by_name(self):
+        assert isinstance(create_model("bpr"), BPR)
+        assert isinstance(create_model("closest"), ClosestItems)
+
+    def test_create_forwards_kwargs(self):
+        model = create_model("closest", fields=("author",))
+        assert model.fields == ("author",)
+
+    def test_create_bpr_with_config(self):
+        model = create_model("bpr", config=BPRConfig(epochs=3))
+        assert model.config.epochs == 3
+
+    def test_create_bpr_with_plain_kwargs(self):
+        model = create_model("bpr", epochs=4, n_factors=6)
+        assert model.config.epochs == 4
+        assert model.config.n_factors == 6
+
+    def test_unknown_model(self):
+        with pytest.raises(UnknownModelError):
+            create_model("deep_learning")
+
+    def test_case_insensitive(self):
+        assert isinstance(create_model("BPR"), BPR)
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_model("bpr", BPR)
+
+    def test_custom_registration(self):
+        class Custom(BPR):
+            pass
+
+        register_model("custom_test_model", Custom)
+        assert isinstance(create_model("custom_test_model"), Custom)

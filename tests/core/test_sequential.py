@@ -1,0 +1,80 @@
+"""Tests for the sequential Markov-chain recommender."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import SequentialMarkov
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class TestConfig:
+    def test_window_validated(self):
+        with pytest.raises(ConfigurationError):
+            SequentialMarkov(window=0)
+
+    def test_decay_validated(self):
+        with pytest.raises(ConfigurationError):
+            SequentialMarkov(decay=0.0)
+        with pytest.raises(ConfigurationError):
+            SequentialMarkov(decay=1.5)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigurationError):
+            SequentialMarkov(alpha=-0.1)
+
+    def test_requires_dataset(self, tiny_split):
+        with pytest.raises(ConfigurationError, match="dated readings"):
+            SequentialMarkov().fit(tiny_split.train, None)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            SequentialMarkov().score_users(np.asarray([0]))
+
+
+class TestFitting:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_split, tiny_merged):
+        return SequentialMarkov().fit(tiny_split.train, tiny_merged)
+
+    def test_transition_rows_bounded(self, fitted):
+        transitions = fitted._transitions
+        assert transitions.shape[0] == transitions.shape[1]
+        assert (transitions >= 0).all()
+        # Damped rows sum to at most the undamped stochastic 1.0.
+        assert transitions.sum(axis=1).max() <= 1.0 + 1e-9
+
+    def test_no_self_transitions(self, fitted, tiny_split):
+        scores = fitted.score_users(np.asarray([0]))
+        assert scores.shape == (1, tiny_split.train.n_items)
+
+    def test_recent_windows_respected(self, fitted):
+        assert all(
+            len(recent) <= fitted.window for recent in fitted._recent.values()
+        )
+
+    def test_recent_items_come_from_training_history(self, fitted, tiny_split):
+        for user, recent in list(fitted._recent.items())[:30]:
+            train_items = set(tiny_split.train.user_items(user).tolist())
+            assert set(recent) <= train_items
+
+    def test_recommend_excludes_seen(self, fitted, tiny_split):
+        user = next(iter(tiny_split.test_items))
+        seen = set(tiny_split.train.user_items(user).tolist())
+        assert not seen & set(fitted.recommend(user, 10).tolist())
+
+    def test_beats_random_on_calibrated_world(
+        self, fitted, tiny_split, tiny_merged
+    ):
+        """Reading order in the world carries signal (author loyalty,
+        community drift); the chain must exploit at least some of it."""
+        from repro.core.random_items import RandomItems
+        from repro.eval.evaluator import evaluate_model, fit_and_evaluate
+
+        sequential = evaluate_model(fitted, tiny_split, ks=(20,))
+        random = fit_and_evaluate(
+            RandomItems(seed=0), tiny_split, tiny_merged, ks=(20,)
+        )
+        # The tiny catalogue makes random strong in URR terms; NRR shows
+        # the chain's edge more robustly.
+        assert sequential.report(20).urr > random.report(20).urr
+        assert sequential.report(20).nrr > 1.5 * random.report(20).nrr

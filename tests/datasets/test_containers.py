@@ -1,0 +1,158 @@
+"""Tests for the BCT/Anobii/Merged dataset containers and their filters."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.anobii import AnobiiDataset
+from repro.datasets.bct import BCTDataset
+from repro.datasets.merged import MergedDataset
+from repro.datasets.models import (
+    ANOBII_ITEMS_SCHEMA,
+    ANOBII_RATINGS_SCHEMA,
+    BCT_BOOKS_SCHEMA,
+    BCT_LOANS_SCHEMA,
+    BOOK_GENRES_SCHEMA,
+    MERGED_BOOKS_SCHEMA,
+    READINGS_SCHEMA,
+)
+from repro.errors import DatasetError
+from repro.tables import Table
+
+
+class TestBCTDataset:
+    def test_wrong_schema_rejected(self, tiny_sources):
+        with pytest.raises(DatasetError, match="schema"):
+            BCTDataset(books=tiny_sources.bct.loans, loans=tiny_sources.bct.loans)
+
+    def test_filter_keeps_only_italian_monographs(self, tiny_sources):
+        filtered = tiny_sources.bct.filter_italian_monographs()
+        assert set(filtered.books["material"].tolist()) <= {
+            "monograph", "manuscript"
+        }
+        assert set(filtered.books["language"].tolist()) == {"ita"}
+        assert filtered.n_books < tiny_sources.bct.n_books
+
+    def test_filter_drops_orphaned_loans(self, tiny_sources):
+        filtered = tiny_sources.bct.filter_italian_monographs()
+        filtered.validate()
+
+    def test_validate_catches_dangling_loans(self, tiny_sources):
+        books = tiny_sources.bct.books.head(1)
+        dataset = BCTDataset(books=books, loans=tiny_sources.bct.loans)
+        with pytest.raises(DatasetError, match="unknown books"):
+            dataset.validate()
+
+    def test_validate_catches_duplicate_books(self, tiny_sources):
+        books = tiny_sources.bct.books
+        duplicated = books.take(np.asarray([0, 0]))
+        dataset = BCTDataset(
+            books=duplicated,
+            loans=tiny_sources.bct.loans.head(0),
+        )
+        with pytest.raises(DatasetError, match="duplicate"):
+            dataset.validate()
+
+    def test_activity_tables(self, tiny_sources):
+        per_user = tiny_sources.bct.loans_per_user()
+        assert per_user["n_loans"].sum() == tiny_sources.bct.n_loans
+        per_book = tiny_sources.bct.loans_per_book()
+        assert per_book["n_loans"].sum() == tiny_sources.bct.n_loans
+
+
+class TestAnobiiDataset:
+    def test_filter_italian_books(self, tiny_sources):
+        filtered = tiny_sources.anobii.filter_italian_books()
+        assert filtered.items["is_book"].all()
+        assert set(filtered.items["language"].tolist()) == {"ita"}
+
+    def test_positive_feedback_threshold(self, tiny_sources):
+        positive = tiny_sources.anobii.positive_feedback()
+        assert positive.ratings["rating"].min() >= 3
+
+    def test_positive_feedback_custom_threshold(self, tiny_sources):
+        strict = tiny_sources.anobii.positive_feedback(threshold=5)
+        assert set(strict.ratings["rating"].tolist()) <= {5}
+
+    def test_validate_catches_out_of_range_rating(self, tiny_sources):
+        ratings = tiny_sources.anobii.ratings.head(1).with_column(
+            "rating", [7]
+        )
+        dataset = AnobiiDataset(items=tiny_sources.anobii.items, ratings=ratings)
+        with pytest.raises(DatasetError, match="outside"):
+            dataset.validate()
+
+    def test_genre_votes_of_unknown_item(self, tiny_sources):
+        with pytest.raises(DatasetError, match="unknown item"):
+            tiny_sources.anobii.genre_votes_of(-1)
+
+    def test_genre_votes_of_known_item(self, tiny_sources):
+        item_id = int(tiny_sources.anobii.items["item_id"][0])
+        votes = tiny_sources.anobii.genre_votes_of(item_id)
+        assert isinstance(votes, dict)
+
+
+class TestMergedDataset:
+    def test_validates(self, tiny_merged):
+        tiny_merged.validate()
+
+    def test_sizes_consistent(self, tiny_merged):
+        assert tiny_merged.n_books == tiny_merged.books.num_rows
+        assert tiny_merged.n_readings == tiny_merged.readings.num_rows
+        assert tiny_merged.n_users == len(tiny_merged.user_ids)
+
+    def test_bct_users_subset(self, tiny_merged):
+        assert set(tiny_merged.bct_user_ids) <= set(tiny_merged.user_ids)
+        assert all(u.startswith("bct_") for u in tiny_merged.bct_user_ids)
+
+    def test_genre_probabilities_sum_to_one(self, tiny_merged):
+        for probs in tiny_merged.genre_probabilities.values():
+            assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_book_metadata_includes_genres(self, tiny_merged):
+        book_id = int(tiny_merged.books["book_id"][0])
+        metadata = tiny_merged.book_metadata(book_id)
+        assert metadata["book_id"] == book_id
+        assert "genres" in metadata and "plot" in metadata
+
+    def test_book_metadata_unknown(self, tiny_merged):
+        with pytest.raises(DatasetError, match="unknown book"):
+            tiny_merged.book_metadata(-5)
+
+    def test_restrict_to_sources_bct(self, tiny_merged):
+        bct_only = tiny_merged.restrict_to_sources({"bct"})
+        assert set(bct_only.readings["source"].tolist()) == {"bct"}
+        assert bct_only.n_books == tiny_merged.n_books  # catalogue untouched
+        bct_only.validate()
+
+    def test_restrict_to_sources_unknown(self, tiny_merged):
+        with pytest.raises(DatasetError, match="unknown sources"):
+            tiny_merged.restrict_to_sources({"goodreads"})
+
+    def test_validate_catches_bad_genre_probabilities(self, tiny_merged):
+        bad_genres = Table.from_columns(
+            {
+                "book_id": [int(tiny_merged.books["book_id"][0])],
+                "genre": ["Comics"],
+                "probability": [0.5],
+            },
+            schema=BOOK_GENRES_SCHEMA,
+        )
+        dataset = MergedDataset(
+            books=tiny_merged.books,
+            readings=tiny_merged.readings,
+            genres=bad_genres,
+        )
+        with pytest.raises(DatasetError, match="not summing to 1"):
+            dataset.validate()
+
+    def test_validate_catches_unknown_reading_book(self, tiny_merged):
+        readings = tiny_merged.readings.head(1).with_column("book_id", [-1])
+        dataset = MergedDataset(
+            books=tiny_merged.books, readings=readings, genres=tiny_merged.genres
+        )
+        with pytest.raises(DatasetError, match="unknown books"):
+            dataset.validate()
+
+    def test_readings_per_user_totals(self, tiny_merged):
+        table = tiny_merged.readings_per_user()
+        assert table["n_readings"].sum() == tiny_merged.n_readings

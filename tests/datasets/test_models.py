@@ -1,0 +1,92 @@
+"""Tests for repro.datasets.models (records, schemas, natural keys)."""
+
+import json
+from datetime import date
+
+import pytest
+
+from repro.datasets.models import (
+    ANOBII_ITEMS_SCHEMA,
+    ANOBII_RATINGS_SCHEMA,
+    BCT_BOOKS_SCHEMA,
+    BCT_LOANS_SCHEMA,
+    AnobiiItemRecord,
+    RatingRecord,
+    match_key,
+    parse_genre_votes,
+)
+
+
+class TestSchemas:
+    def test_bct_books_columns(self):
+        assert BCT_BOOKS_SCHEMA.names == (
+            "book_id", "author", "title", "material", "language"
+        )
+
+    def test_bct_loans_has_date(self):
+        assert BCT_LOANS_SCHEMA["loan_date"].dtype == "date"
+
+    def test_anobii_items_metadata_fields(self):
+        for field in ("plot", "keywords", "genre_votes"):
+            assert field in ANOBII_ITEMS_SCHEMA
+
+    def test_anobii_ratings_columns(self):
+        assert ANOBII_RATINGS_SCHEMA["rating"].dtype == "int"
+
+
+class TestRecords:
+    def test_rating_bounds_enforced(self):
+        with pytest.raises(ValueError, match="rating must be"):
+            RatingRecord(
+                rating_id=1, user_id="u", item_id=1, rating=6,
+                rating_date=date(2020, 1, 1),
+            )
+
+    def test_rating_valid(self):
+        record = RatingRecord(
+            rating_id=1, user_id="u", item_id=1, rating=5,
+            rating_date=date(2020, 1, 1),
+        )
+        assert record.rating == 5
+
+    def test_item_genre_votes_json_sorted(self):
+        item = AnobiiItemRecord(
+            item_id=1, author="a", title="t",
+            genre_votes={"Zeta": 1, "Alpha": 2},
+        )
+        assert item.genre_votes_json() == json.dumps(
+            {"Alpha": 2, "Zeta": 1}, sort_keys=True
+        )
+
+
+class TestParseGenreVotes:
+    def test_roundtrip(self):
+        votes = {"Comics": 10, "Manga": 3}
+        assert parse_genre_votes(json.dumps(votes)) == votes
+
+    def test_empty_string(self):
+        assert parse_genre_votes("") == {}
+
+    def test_coerces_counts_to_int(self):
+        assert parse_genre_votes('{"Comics": "7"}') == {"Comics": 7}
+
+
+class TestMatchKey:
+    def test_case_insensitive(self):
+        assert match_key("Il Nome", "Eco") == match_key("il nome", "ECO")
+
+    def test_whitespace_collapsed(self):
+        assert match_key("il  nome ", "eco") == match_key("il nome", "eco")
+
+    def test_punctuation_stripped(self):
+        assert match_key("l'isola, misteriosa", "verne") == match_key(
+            "lisola misteriosa", "verne"
+        )
+
+    def test_title_and_author_both_matter(self):
+        assert match_key("a", "b") != match_key("a", "c")
+        assert match_key("a", "b") != match_key("x", "b")
+
+    def test_separator_prevents_bleeding(self):
+        # (title="ab", author="c") must differ from (title="a", author="bc")
+        assert match_key("ab", "c") != match_key("a", "bc")

@@ -1,0 +1,97 @@
+"""Tests for the synthetic BCT/Anobii dump generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.models import (
+    ANOBII_ITEMS_SCHEMA,
+    ANOBII_RATINGS_SCHEMA,
+    BCT_BOOKS_SCHEMA,
+    BCT_LOANS_SCHEMA,
+    parse_genre_votes,
+)
+from repro.datasets.synthetic import ANOBII_ID_BASE, BCT_ID_BASE
+
+
+class TestBCTDump:
+    def test_schemas(self, tiny_sources):
+        assert tiny_sources.bct.books.schema == BCT_BOOKS_SCHEMA
+        assert tiny_sources.bct.loans.schema == BCT_LOANS_SCHEMA
+
+    def test_referential_integrity(self, tiny_sources):
+        tiny_sources.bct.validate()
+
+    def test_only_bct_catalogue_books(self, tiny_sources):
+        world = tiny_sources.world
+        for book_id in tiny_sources.bct.books["book_id"]:
+            assert world.book_in_bct[int(book_id) - BCT_ID_BASE]
+
+    def test_noise_materials_present(self, tiny_sources):
+        materials = set(tiny_sources.bct.books["material"].tolist())
+        assert "monograph" in materials
+        assert materials - {"monograph", "manuscript"}, (
+            "the dump should contain non-book materials for the filter to drop"
+        )
+
+    def test_noise_languages_present(self, tiny_sources):
+        languages = set(tiny_sources.bct.books["language"].tolist())
+        assert "ita" in languages and len(languages) > 1
+
+    def test_loan_dates_within_period(self, tiny_sources):
+        first, last = tiny_sources.world.config.bct_years
+        dates = tiny_sources.bct.loans["loan_date"]
+        assert dates.min() >= np.datetime64(f"{first}-01-01")
+        assert dates.max() <= np.datetime64(f"{last + 1}-12-31")
+
+    def test_loan_ids_unique(self, tiny_sources):
+        loan_ids = tiny_sources.bct.loans["loan_id"]
+        assert len(set(loan_ids.tolist())) == len(loan_ids)
+
+
+class TestAnobiiDump:
+    def test_schemas(self, tiny_sources):
+        assert tiny_sources.anobii.items.schema == ANOBII_ITEMS_SCHEMA
+        assert tiny_sources.anobii.ratings.schema == ANOBII_RATINGS_SCHEMA
+
+    def test_referential_integrity(self, tiny_sources):
+        tiny_sources.anobii.validate()
+
+    def test_contains_non_book_decoys(self, tiny_sources):
+        is_book = tiny_sources.anobii.items["is_book"]
+        assert (~is_book).sum() > 0
+
+    def test_ratings_in_range(self, tiny_sources):
+        ratings = tiny_sources.anobii.ratings["rating"]
+        assert ratings.min() >= 1 and ratings.max() <= 5
+
+    def test_contains_negative_feedback(self, tiny_sources):
+        ratings = tiny_sources.anobii.ratings["rating"]
+        assert (ratings < 3).sum() > 0, (
+            "dislikes must exist for the positive-feedback filter to matter"
+        )
+
+    def test_genre_votes_parse(self, tiny_sources):
+        items = tiny_sources.anobii.items
+        books = items.filter(items["is_book"])
+        parsed = parse_genre_votes(str(books["genre_votes"][0]))
+        assert parsed and all(v >= 1 for v in parsed.values())
+
+    def test_item_ids_disjoint_from_bct_ids(self, tiny_sources):
+        bct_ids = set(tiny_sources.bct.books["book_id"].tolist())
+        anobii_ids = set(tiny_sources.anobii.items["item_id"].tolist())
+        assert not bct_ids & anobii_ids
+
+    def test_shared_books_have_matching_titles(self, tiny_sources):
+        """The same latent book appears with identical title in both dumps."""
+        world = tiny_sources.world
+        bct = tiny_sources.bct.books
+        anobii = tiny_sources.anobii.items
+        bct_titles = dict(zip(bct["book_id"], bct["title"]))
+        hits = 0
+        for item_id, title in zip(anobii["item_id"], anobii["title"]):
+            latent = int(item_id) - ANOBII_ID_BASE
+            bct_id = BCT_ID_BASE + latent
+            if bct_id in bct_titles:
+                assert bct_titles[bct_id] == title
+                hits += 1
+        assert hits > 0

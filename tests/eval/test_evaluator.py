@@ -1,0 +1,132 @@
+"""Tests for the end-to-end evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import Recommender
+from repro.core.random_items import RandomItems
+from repro.errors import EvaluationError
+from repro.eval.evaluator import (
+    evaluate_model,
+    fit_and_evaluate,
+    measure_recommendation_latency,
+)
+
+
+class Oracle(Recommender):
+    """Cheating model: scores the user's own held-out items highest."""
+
+    exclude_seen = True
+
+    def __init__(self, holdout):
+        super().__init__()
+        self._holdout = holdout
+
+    def _fit(self, train, dataset):
+        pass
+
+    def score_users(self, user_indices):
+        scores = np.zeros((len(user_indices), self.train.n_items))
+        for row, user in enumerate(user_indices):
+            held = self._holdout.get(int(user))
+            if held is not None:
+                scores[row, held] = 1.0
+        return scores
+
+
+class TestEvaluateModel:
+    def test_oracle_scores_perfectly(self, tiny_split, tiny_merged):
+        oracle = Oracle(tiny_split.test_items).fit(tiny_split.train, tiny_merged)
+        result = evaluate_model(oracle, tiny_split, ks=(20,))
+        report = result.report(20)
+        assert report.urr == 1.0
+        assert report.first_rank == 1.0
+        assert report.recall > 0.9  # test sets can exceed k=20 only rarely
+
+    def test_random_model_is_weak(self, tiny_split, tiny_merged):
+        model = RandomItems(seed=0).fit(tiny_split.train, tiny_merged)
+        result = evaluate_model(model, tiny_split, ks=(20,))
+        assert result.report(20).urr < 0.6
+
+    def test_multiple_ks_single_pass(self, tiny_split, tiny_merged):
+        model = RandomItems(seed=0).fit(tiny_split.train, tiny_merged)
+        sweep = evaluate_model(model, tiny_split, ks=(5, 20))
+        single = evaluate_model(model, tiny_split, ks=(20,))
+        assert sweep.report(20).urr == single.report(20).urr
+        assert sweep.report(5).urr <= sweep.report(20).urr
+
+    def test_monotone_in_k(self, tiny_split, tiny_merged):
+        model = RandomItems(seed=0).fit(tiny_split.train, tiny_merged)
+        result = evaluate_model(model, tiny_split, ks=(1, 5, 20, 50))
+        urrs = [result.report(k).urr for k in (1, 5, 20, 50)]
+        assert urrs == sorted(urrs)
+        precisions = [result.report(k).precision for k in (1, 5, 20, 50)]
+        # Precision tends to fall with k (not strictly, but over this range).
+        assert precisions[-1] <= precisions[0] + 0.05
+
+    def test_fr_independent_of_k(self, tiny_split, tiny_merged):
+        model = RandomItems(seed=0).fit(tiny_split.train, tiny_merged)
+        result = evaluate_model(model, tiny_split, ks=(5, 50))
+        assert result.report(5).first_rank == result.report(50).first_rank
+
+    def test_requires_ks(self, tiny_split, tiny_merged, tiny_bpr):
+        with pytest.raises(EvaluationError):
+            evaluate_model(tiny_bpr, tiny_split, ks=())
+        with pytest.raises(EvaluationError):
+            evaluate_model(tiny_bpr, tiny_split, ks=(0,))
+
+    def test_unknown_holdout(self, tiny_split, tiny_bpr):
+        with pytest.raises(EvaluationError, match="holdout"):
+            evaluate_model(tiny_bpr, tiny_split, holdout="future")
+
+    def test_val_holdout_restricted_to_bct(self, tiny_split, tiny_bpr):
+        result = evaluate_model(tiny_bpr, tiny_split, holdout="val")
+        bct = set(int(u) for u in tiny_split.bct_user_indices)
+        assert set(result.per_user.user_indices.tolist()) <= bct
+
+    def test_missing_k_report(self, tiny_split, tiny_merged, tiny_bpr):
+        result = evaluate_model(tiny_bpr, tiny_split, ks=(20,))
+        with pytest.raises(EvaluationError, match="no KPIs"):
+            result.report(7)
+
+    def test_per_user_arrays_aligned(self, tiny_split, tiny_bpr):
+        result = evaluate_model(tiny_bpr, tiny_split, ks=(20,))
+        per_user = result.per_user
+        n = len(per_user.user_indices)
+        assert len(per_user.train_sizes) == n
+        assert len(per_user.test_sizes) == n
+        assert len(per_user.hits[20]) == n
+        assert (per_user.test_sizes > 0).all()
+
+    def test_chunking_invariant(self, tiny_split, tiny_bpr):
+        big = evaluate_model(tiny_bpr, tiny_split, ks=(20,), chunk_size=1000)
+        small = evaluate_model(tiny_bpr, tiny_split, ks=(20,), chunk_size=7)
+        assert big.report(20) == small.report(20)
+
+
+class TestFitAndEvaluate:
+    def test_records_fit_time(self, tiny_split, tiny_merged):
+        result = fit_and_evaluate(
+            RandomItems(seed=0), tiny_split, tiny_merged, ks=(10,)
+        )
+        assert result.fit_seconds is not None and result.fit_seconds >= 0
+        assert result.model_name == "Random Items"
+
+    def test_latency_measured_when_requested(self, tiny_split, tiny_merged):
+        result = fit_and_evaluate(
+            RandomItems(seed=0), tiny_split, tiny_merged,
+            ks=(10,), measure_latency=True,
+        )
+        assert result.recommend_seconds_per_user is not None
+        assert result.recommend_seconds_per_user > 0
+
+
+class TestLatency:
+    def test_requires_users(self, tiny_bpr):
+        with pytest.raises(EvaluationError):
+            measure_recommendation_latency(tiny_bpr, np.asarray([]), k=5)
+
+    def test_positive(self, tiny_bpr, tiny_split):
+        users = np.asarray(sorted(tiny_split.test_items))[:5]
+        latency = measure_recommendation_latency(tiny_bpr, users, k=5)
+        assert latency > 0

@@ -1,0 +1,45 @@
+"""Tests for the BPR grid search."""
+
+import pytest
+
+from repro.core.bpr import BPRConfig
+from repro.errors import EvaluationError
+from repro.eval.grid import grid_search_bpr
+
+
+@pytest.fixture(scope="module")
+def grid(tiny_split, tiny_merged):
+    return grid_search_bpr(
+        tiny_split,
+        tiny_merged,
+        base_config=BPRConfig(epochs=3, seed=1),
+        factor_grid=(5, 10),
+        learning_rate_grid=(0.05, 0.2),
+        k=10,
+    )
+
+
+class TestGridSearch:
+    def test_all_cells_evaluated(self, grid):
+        assert len(grid.points) == 4
+        assert set(grid.as_matrix()) == {
+            (5, 0.05), (5, 0.2), (10, 0.05), (10, 0.2)
+        }
+
+    def test_best_maximises_urr(self, grid):
+        best_urr = max(p.val_urr for p in grid.points)
+        assert grid.best.val_urr == best_urr
+
+    def test_urr_in_bounds(self, grid):
+        for point in grid.points:
+            assert 0.0 <= point.val_urr <= 1.0
+            assert point.val_nrr >= point.val_urr - 1e-9
+
+    def test_k_recorded(self, grid):
+        assert grid.k == 10
+
+    def test_empty_grid_rejected(self, tiny_split, tiny_merged):
+        with pytest.raises(EvaluationError):
+            grid_search_bpr(
+                tiny_split, tiny_merged, factor_grid=(),
+            )

@@ -1,0 +1,86 @@
+"""Tests for the history-size group analysis (Fig. 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.evaluator import evaluate_model
+from repro.eval.groups import (
+    HistoryBin,
+    equal_population_bins,
+    evaluate_by_history_size,
+)
+
+
+class TestEqualPopulationBins:
+    def test_partition_covers_all_users(self):
+        sizes = np.asarray([5] * 10 + [10] * 10 + [20] * 10 + [50] * 10)
+        bins = equal_population_bins(sizes, 4)
+        assert sum(b.n_users for b in bins) == len(sizes)
+
+    def test_bins_contiguous(self):
+        sizes = np.arange(1, 101)
+        bins = equal_population_bins(sizes, 4)
+        for previous, current in zip(bins, bins[1:]):
+            assert current.low == previous.high + 1
+
+    def test_roughly_equal_population(self):
+        sizes = np.arange(1, 101)
+        bins = equal_population_bins(sizes, 4)
+        assert all(20 <= b.n_users <= 30 for b in bins)
+
+    def test_heavy_ties_merge_bins(self):
+        sizes = np.asarray([7] * 95 + [50] * 5)
+        bins = equal_population_bins(sizes, 4)
+        assert len(bins) < 4
+        assert sum(b.n_users for b in bins) == 100
+
+    def test_single_value(self):
+        bins = equal_population_bins(np.asarray([3, 3, 3]), 4)
+        assert len(bins) == 1
+        assert bins[0].label == "3"
+
+    def test_errors(self):
+        with pytest.raises(EvaluationError):
+            equal_population_bins(np.asarray([]), 4)
+        with pytest.raises(EvaluationError):
+            equal_population_bins(np.asarray([1]), 0)
+
+    def test_label_format(self):
+        assert HistoryBin(low=3, high=9, n_users=5).label == "3-9"
+        assert HistoryBin(low=4, high=4, n_users=5).label == "4"
+
+
+class TestEvaluateByHistorySize:
+    def test_group_nrr_reconstructs_total(self, tiny_split, tiny_bpr):
+        result = evaluate_model(tiny_bpr, tiny_split, ks=(20,))
+        groups = evaluate_by_history_size(result, 20, n_bins=4)
+        weighted = sum(
+            nrr * hist_bin.n_users
+            for nrr, hist_bin in zip(groups.nrr, groups.bins)
+        )
+        total = weighted / sum(b.n_users for b in groups.bins)
+        assert total == pytest.approx(result.report(20).nrr, abs=1e-9)
+
+    def test_shared_bins_across_models(self, tiny_split, tiny_bpr, tiny_merged):
+        from repro.core.random_items import RandomItems
+
+        bpr_result = evaluate_model(tiny_bpr, tiny_split, ks=(20,))
+        bins = equal_population_bins(bpr_result.per_user.train_sizes, 4)
+        random_result = evaluate_model(
+            RandomItems(seed=0).fit(tiny_split.train, tiny_merged),
+            tiny_split, ks=(20,),
+        )
+        groups = evaluate_by_history_size(random_result, 20, bins=bins)
+        assert groups.bins == bins
+
+    def test_missing_k_rejected(self, tiny_split, tiny_bpr):
+        result = evaluate_model(tiny_bpr, tiny_split, ks=(20,))
+        with pytest.raises(EvaluationError, match="no hits"):
+            evaluate_by_history_size(result, 5)
+
+    def test_urr_within_bounds(self, tiny_split, tiny_bpr):
+        result = evaluate_model(tiny_bpr, tiny_split, ks=(20,))
+        groups = evaluate_by_history_size(result, 20, n_bins=3)
+        for urr in groups.urr:
+            assert 0.0 <= urr <= 1.0

@@ -1,0 +1,45 @@
+"""Tests for experiment configuration presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SCALES, ExperimentConfig, config_for_scale
+
+
+class TestPresets:
+    def test_all_scales_buildable(self):
+        for scale in SCALES:
+            config = config_for_scale(scale)
+            assert config.scale == scale
+
+    def test_small_is_smaller_than_default(self):
+        small = config_for_scale("small")
+        default = config_for_scale("default")
+        assert small.world.n_books < default.world.n_books
+        assert small.bpr.epochs <= default.bpr.epochs
+
+    def test_paper_matches_published_dimensions(self):
+        paper = config_for_scale("paper")
+        assert paper.world.n_bct_users == 6079
+        assert paper.world.n_anobii_users == 37452
+        assert paper.merge.min_book_readings == 100
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError):
+            config_for_scale("galactic")
+
+    def test_seed_override(self):
+        config = config_for_scale("small", seed=777)
+        assert config.seed == 777
+        assert config.world.seed == 777
+
+    def test_with_seed_preserves_rest(self):
+        config = ExperimentConfig().with_seed(9)
+        assert config.seed == 9
+        assert config.k == 20
+
+    def test_default_k_is_papers_deployed_value(self):
+        assert ExperimentConfig().k == 20
+
+    def test_default_closest_fields_are_papers_best(self):
+        assert ExperimentConfig().closest_fields == ("author", "genres")

@@ -1,0 +1,56 @@
+"""Tests for the experiment context's lazy caching."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+
+
+class TestDatasetCaching:
+    def test_merged_is_cached(self, tiny_context):
+        assert tiny_context.merged is tiny_context.merged
+
+    def test_split_is_cached(self, tiny_context):
+        assert tiny_context.split is tiny_context.split
+
+    def test_merge_report_available(self, tiny_context):
+        assert tiny_context.merge_report.matched_books > 0
+
+
+class TestModelCaching:
+    def test_model_cached_by_name(self, tiny_context):
+        assert tiny_context.model("random") is tiny_context.model("random")
+
+    def test_fit_seconds_recorded(self, tiny_context):
+        tiny_context.model("most_read")
+        assert tiny_context.fit_seconds("most_read") >= 0.0
+
+    def test_closest_field_variants_are_distinct(self, tiny_context):
+        default = tiny_context.model("closest")
+        title_only = tiny_context.model("closest:title")
+        assert default is not title_only
+        assert title_only.fields == ("title",)
+
+    def test_unknown_model(self, tiny_context):
+        with pytest.raises(ConfigurationError):
+            tiny_context.model("svd++")
+
+    def test_bct_only_uses_loans_dataset(self, tiny_context):
+        dataset, split = tiny_context.bct_only
+        assert set(dataset.readings["source"].tolist()) == {"bct"}
+        assert split.train.n_items == tiny_context.split.train.n_items
+
+
+class TestEvaluationCaching:
+    def test_same_request_cached(self, tiny_context):
+        first = tiny_context.evaluation("random", ks=(10,))
+        second = tiny_context.evaluation("random", ks=(10,))
+        assert first is second
+
+    def test_different_ks_not_conflated(self, tiny_context):
+        a = tiny_context.evaluation("random", ks=(10,))
+        b = tiny_context.evaluation("random", ks=(5,))
+        assert a is not b
+
+    def test_default_k_from_config(self, tiny_context):
+        result = tiny_context.evaluation("most_read")
+        assert tiny_context.config.k in result.kpis

@@ -1,0 +1,80 @@
+"""Tests for the future-work extension experiments."""
+
+import pytest
+
+from repro.experiments import extensions, run_experiment
+
+
+class TestBeyondAccuracy:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_context):
+        return extensions.run_beyond_accuracy(tiny_context)
+
+    def test_three_systems(self, result):
+        assert set(result.rows) == {"Most Read Items", "Closest Items", "BPR"}
+
+    def test_popularity_list_has_low_coverage(self, result):
+        assert (
+            result.rows["Most Read Items"].coverage
+            < result.rows["BPR"].coverage
+        )
+
+    def test_accuracy_attached(self, result):
+        assert result.accuracy["BPR"].urr > 0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Div" in text and "Cov" in text
+
+
+class TestSequentialExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_context):
+        return extensions.run_sequential(tiny_context)
+
+    def test_four_rows(self, result):
+        assert set(result.rows) == {
+            "Closest Items", "BPR", "Sequential Markov",
+            "Sequential + BPR blend",
+        }
+
+    def test_chain_is_credible(self, result):
+        assert (
+            result.rows["Sequential Markov"].urr
+            > 0.4 * result.rows["BPR"].urr
+        )
+
+    def test_render(self, result):
+        assert "Sequential" in result.render()
+
+
+class TestSplitAblation:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_context):
+        from repro.experiments import split_ablation
+
+        return split_ablation.run(tiny_context)
+
+    def test_both_protocols_evaluated(self, result):
+        assert set(result.temporal) == set(result.random_order)
+
+    def test_most_read_gains_under_random_split(self, result):
+        assert (
+            result.random_order["Most Read Items"].urr
+            >= result.temporal["Most Read Items"].urr
+        )
+
+    def test_render(self, result):
+        assert "temporal" in result.render()
+
+
+class TestRegistryIntegration:
+    def test_runnable_by_name(self, tiny_context):
+        result = run_experiment("beyond_accuracy", tiny_context)
+        assert hasattr(result, "render")
+
+    def test_listed(self):
+        from repro.experiments import available_experiments
+
+        names = available_experiments()
+        assert "beyond_accuracy" in names and "sequential" in names

@@ -1,0 +1,33 @@
+"""Tests for the figure experiments' ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments import fig3, fig4
+
+
+class TestFig3Chart:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_context):
+        return fig3.run(tiny_context, ks=(1, 10, 20))
+
+    def test_chart_for_each_metric(self, result):
+        for metric in ("urr", "nrr", "precision", "recall"):
+            chart = result.chart(metric)
+            assert "BPR" in chart
+            assert "|" in chart  # y axis present
+
+    def test_render_embeds_urr_chart(self, result):
+        assert "URR vs k" in result.render()
+
+    def test_chart_x_ticks_are_ks(self, result):
+        chart = result.chart("urr")
+        for k in (1, 10, 20):
+            assert str(k) in chart
+
+
+class TestFig4Chart:
+    def test_render_embeds_chart(self, tiny_context):
+        result = fig4.run(tiny_context)
+        text = result.render()
+        assert "NRR by training-history bin" in text
+        assert "*=Random Items" in text

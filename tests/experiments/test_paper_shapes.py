@@ -1,0 +1,87 @@
+"""Acceptance tests: the paper's qualitative results at the `small` preset.
+
+These run the calibrated `small` configuration (≈200 merged books, ≈1 000
+users) once per session and assert the paper's headline findings:
+
+- Table 1 ordering: BPR > Closest >> Random, Most Read; BPR(BCT) << BPR;
+- Fig. 4: the content-based model gains more from history than BPR;
+- Fig. 5: title-only is the worst summary, author+genres the best.
+
+They are statistical assertions on a stochastic world, so thresholds carry
+slack; the `default`-scale numbers in EXPERIMENTS.md are the precise record.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments.config import config_for_scale
+from repro.experiments import fig4, fig5, table1
+
+
+@pytest.fixture(scope="module")
+def small_context():
+    return ExperimentContext(config_for_scale("small"))
+
+
+@pytest.fixture(scope="module")
+def table1_result(small_context):
+    return table1.run(small_context)
+
+
+class TestTable1Shapes:
+    def test_personalised_models_clear_baselines(self, table1_result):
+        rows = table1_result.rows
+        floor = max(rows["Random Items"].urr, rows["Most Read Items"].urr)
+        assert rows["Closest Items"].urr > 1.5 * floor
+        assert rows["BPR"].urr > 1.5 * floor
+
+    def test_bpr_beats_closest(self, table1_result):
+        rows = table1_result.rows
+        assert rows["BPR"].urr > rows["Closest Items"].urr
+        assert rows["BPR"].nrr > rows["Closest Items"].nrr
+
+    def test_bct_only_clearly_weaker(self, table1_result):
+        rows = table1_result.rows
+        assert rows["BPR (BCT only)"].urr < 0.8 * rows["BPR"].urr
+
+    def test_first_rank_ordering(self, table1_result):
+        rows = table1_result.rows
+        assert rows["BPR"].first_rank < rows["Random Items"].first_rank
+        assert rows["Closest Items"].first_rank < rows["Random Items"].first_rank
+
+
+class TestFig4Shapes:
+    def test_closest_growth_exceeds_bpr(self, small_context):
+        result = fig4.run(small_context)
+        cb = result.groups["Closest Items"].nrr
+        bpr = result.groups["BPR"].nrr
+        assert cb[-1] / max(cb[0], 1e-9) > bpr[-1] / max(bpr[0], 1e-9)
+
+    def test_bpr_strong_for_light_readers(self, small_context):
+        result = fig4.run(small_context)
+        assert (
+            result.groups["BPR"].nrr[0]
+            >= 0.8 * result.groups["Closest Items"].nrr[0]
+        )
+
+
+class TestFig5Shapes:
+    @pytest.fixture(scope="class")
+    def result(self, small_context):
+        return fig5.run(small_context)
+
+    def test_title_is_worst(self, result):
+        title = result.rows[("title",)].urr
+        for fields, report in result.rows.items():
+            if fields != ("title",):
+                assert report.urr >= title
+
+    def test_author_genres_among_best(self, result):
+        best_urr = max(report.urr for report in result.rows.values())
+        assert result.rows[("author", "genres")].urr >= 0.85 * best_urr
+
+    def test_author_alone_strong(self, result):
+        assert (
+            result.rows[("author",)].urr
+            > 2 * result.rows[("title",)].urr
+        )

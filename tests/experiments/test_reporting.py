@@ -1,0 +1,92 @@
+"""Tests for the text rendering helpers."""
+
+from repro.experiments.reporting import ascii_table, format_value, series_block
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(0.123456, precision=2) == "0.12"
+        assert format_value(0.123456, precision=4) == "0.1235"
+
+    def test_non_float_passthrough(self):
+        assert format_value(7) == "7"
+        assert format_value("x") == "x"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(["name", "v"], [["long-name", 1.0], ["x", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        # All rows align to the same width.
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_empty_rows(self):
+        text = ascii_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_precision_applied(self):
+        text = ascii_table(["v"], [[0.126]], precision=1)
+        assert "0.1" in text
+
+
+class TestAsciiChart:
+    def test_basic_chart(self):
+        from repro.experiments.reporting import ascii_chart
+
+        text = ascii_chart([1, 2, 3], {"up": [0.0, 0.5, 1.0]})
+        lines = text.splitlines()
+        assert any("1.00" in line for line in lines)
+        assert any("0.00" in line for line in lines)
+        assert "*=up" in lines[-1]
+
+    def test_extremes_placed_on_edge_rows(self):
+        from repro.experiments.reporting import ascii_chart
+
+        text = ascii_chart([1, 2], {"s": [0.0, 1.0]}, height=5)
+        lines = text.splitlines()
+        assert "*" in lines[0]       # max on the top row
+        assert "*" in lines[4]       # min on the bottom row
+
+    def test_multiple_series_symbols(self):
+        from repro.experiments.reporting import ascii_chart
+
+        text = ascii_chart(
+            [1, 2], {"a": [0.1, 0.2], "b": [0.3, 0.4]}
+        )
+        assert "*=a" in text and "o=b" in text
+
+    def test_flat_series_does_not_crash(self):
+        from repro.experiments.reporting import ascii_chart
+
+        text = ascii_chart([1, 2, 3], {"flat": [0.5, 0.5, 0.5]})
+        assert "flat" in text
+
+    def test_validation(self):
+        import pytest
+
+        from repro.experiments.reporting import ascii_chart
+
+        with pytest.raises(ValueError):
+            ascii_chart([], {"a": []})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]}, height=1)
+
+    def test_title_included(self):
+        from repro.experiments.reporting import ascii_chart
+
+        assert ascii_chart([1], {"a": [1.0]}, title="T").startswith("T")
+
+
+class TestSeriesBlock:
+    def test_pairs_rendered(self):
+        text = series_block("BPR", [1, 5], [0.1234, 0.5])
+        assert text.startswith("BPR:")
+        assert "1:0.123" in text and "5:0.500" in text
+
+    def test_empty_series(self):
+        assert series_block("x", [], []) == "x: "

@@ -1,0 +1,40 @@
+"""Tests for source-level cleaning steps and their reports."""
+
+import pytest
+
+from repro.pipeline.cleaning import clean_anobii, clean_bct
+
+
+class TestCleanBCT:
+    def test_filter_applied(self, tiny_sources):
+        cleaned, report = clean_bct(tiny_sources.bct)
+        assert set(cleaned.books["material"].tolist()) <= {
+            "monograph", "manuscript"
+        }
+        assert report.catalogue_removed > 0
+
+    def test_report_counts_match(self, tiny_sources):
+        cleaned, report = clean_bct(tiny_sources.bct)
+        assert report.catalogue_before == tiny_sources.bct.n_books
+        assert report.catalogue_after == cleaned.n_books
+        assert report.events_after == cleaned.n_loans
+
+    def test_report_renders(self, tiny_sources):
+        _, report = clean_bct(tiny_sources.bct)
+        text = str(report)
+        assert "->" in text and "bct" in text
+
+
+class TestCleanAnobii:
+    def test_default_threshold(self, tiny_sources):
+        cleaned, report = clean_anobii(tiny_sources.anobii)
+        assert cleaned.ratings["rating"].min() >= 3
+        assert report.events_removed > 0
+
+    def test_custom_threshold(self, tiny_sources):
+        cleaned, _ = clean_anobii(tiny_sources.anobii, min_rating=4)
+        assert cleaned.ratings["rating"].min() >= 4
+
+    def test_non_books_removed(self, tiny_sources):
+        cleaned, _ = clean_anobii(tiny_sources.anobii)
+        assert cleaned.items["is_book"].all()

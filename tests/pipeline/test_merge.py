@@ -1,0 +1,119 @@
+"""Tests for the BCT + Anobii merge step."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets.synthetic import ANOBII_ID_BASE, BCT_ID_BASE
+from repro.errors import PipelineError
+from repro.pipeline.merge import MergeConfig, build_merged_dataset
+
+
+class TestMergeConfigValidation:
+    def test_floors_must_be_positive(self):
+        with pytest.raises(PipelineError):
+            MergeConfig(min_user_readings=0)
+        with pytest.raises(PipelineError):
+            MergeConfig(min_book_readings=0)
+
+    def test_rating_bounds(self):
+        with pytest.raises(PipelineError):
+            MergeConfig(min_rating=6)
+
+
+class TestCatalogueAlignment:
+    def test_only_shared_books_survive(self, tiny_sources, tiny_merged):
+        """Every merged book must exist in both cleaned catalogues."""
+        bct_books = set(
+            tiny_sources.bct.filter_italian_monographs().books["book_id"].tolist()
+        )
+        assert set(tiny_merged.books["book_id"].tolist()) <= bct_books
+
+    def test_merged_ids_align_to_same_latent_book(self, tiny_merged):
+        """The merged book id is the BCT id; its Anobii twin differs only by
+        the id-space offset, so title/author agreement is structural."""
+        for book_id in tiny_merged.books["book_id"][:10]:
+            assert int(book_id) >= BCT_ID_BASE
+            assert int(book_id) < ANOBII_ID_BASE
+
+    def test_metadata_union(self, tiny_merged):
+        """Merged books carry BCT title/author plus Anobii plot/keywords."""
+        with_plot = sum(1 for p in tiny_merged.books["plot"] if p)
+        assert with_plot == tiny_merged.n_books
+
+    def test_report_counts(self, tiny_merge_report):
+        report = tiny_merge_report
+        assert report.matched_books > 0
+        assert report.users_after_filter <= report.users_before_filter
+        assert report.readings_after_filter <= report.readings_before_filter
+        assert "catalogue match" in str(report)
+
+
+class TestActivityFilters:
+    def test_user_floor_enforced(self, tiny_merged):
+        distinct: dict[str, set] = {}
+        for user, book in zip(
+            tiny_merged.readings["user_id"], tiny_merged.readings["book_id"]
+        ):
+            distinct.setdefault(str(user), set()).add(int(book))
+        # Floors are computed on pre-filter counts and applied once (as in
+        # the paper), so post-filter counts can dip slightly below the
+        # floor; they must never collapse.
+        assert min(len(books) for books in distinct.values()) >= 5
+
+    def test_iterated_filter_reaches_fixpoint(self, tiny_sources):
+        config = MergeConfig(
+            min_user_readings=10, min_book_readings=5,
+            iterate_activity_filter=True,
+        )
+        merged, _ = build_merged_dataset(
+            tiny_sources.bct, tiny_sources.anobii, config
+        )
+        distinct: dict[str, set] = {}
+        events: Counter = Counter()
+        for user, book in zip(
+            merged.readings["user_id"], merged.readings["book_id"]
+        ):
+            distinct.setdefault(str(user), set()).add(int(book))
+            events[int(book)] += 1
+        assert min(len(books) for books in distinct.values()) >= 10
+        assert min(events.values()) >= 5
+
+    def test_stricter_book_floor_keeps_fewer_books(self, tiny_sources):
+        loose, _ = build_merged_dataset(
+            tiny_sources.bct, tiny_sources.anobii,
+            MergeConfig(min_user_readings=10, min_book_readings=5),
+        )
+        strict, _ = build_merged_dataset(
+            tiny_sources.bct, tiny_sources.anobii,
+            MergeConfig(min_user_readings=10, min_book_readings=25),
+        )
+        assert strict.n_books < loose.n_books
+
+
+class TestReadingsUnion:
+    def test_sources_present(self, tiny_merged):
+        sources = set(tiny_merged.readings["source"].tolist())
+        assert sources == {"bct", "anobii"}
+
+    def test_bct_readings_come_from_loans(self, tiny_sources, tiny_merged):
+        mask = tiny_merged.readings["source"] == "bct"
+        bct_users = set(tiny_merged.readings["user_id"][mask].tolist())
+        assert all(u.startswith("bct_") for u in bct_users)
+
+    def test_negative_ratings_excluded(self, tiny_sources, tiny_merged):
+        """Books only read through <3-star ratings contribute no readings."""
+        anobii = tiny_sources.anobii
+        positive = anobii.ratings.filter(anobii.ratings["rating"] >= 3)
+        positive_pairs = set(
+            zip(positive["user_id"].tolist(), positive["item_id"].tolist())
+        )
+        mask = tiny_merged.readings["source"] == "anobii"
+        for user, book in list(
+            zip(
+                tiny_merged.readings["user_id"][mask],
+                tiny_merged.readings["book_id"][mask],
+            )
+        )[:200]:
+            item = int(book) - BCT_ID_BASE + ANOBII_ID_BASE
+            assert (str(user), item) in positive_pairs

@@ -1,0 +1,79 @@
+"""Tests for dataset characterisation statistics (Figs 1-2 inputs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline import stats
+
+
+class TestECDF:
+    def test_monotone_and_bounded(self):
+        values, probs = stats.ecdf(np.asarray([3, 1, 2, 2]))
+        assert list(values) == [1, 2, 2, 3]
+        assert probs[-1] == 1.0
+        assert (np.diff(probs) >= 0).all()
+
+    def test_empty(self):
+        values, probs = stats.ecdf(np.asarray([]))
+        assert len(values) == 0 and len(probs) == 0
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1))
+    def test_property_last_prob_is_one(self, values):
+        _, probs = stats.ecdf(np.asarray(values))
+        assert probs[-1] == pytest.approx(1.0)
+        assert probs[0] == pytest.approx(1 / len(values))
+
+
+class TestReadingCounts:
+    def test_per_user_counts_sum(self, tiny_merged):
+        counts = stats.readings_per_user_counts(tiny_merged)
+        assert counts.sum() == tiny_merged.n_readings
+
+    def test_per_book_counts_sum(self, tiny_merged):
+        counts = stats.readings_per_book_counts(tiny_merged)
+        assert counts.sum() == tiny_merged.n_readings
+
+    def test_cdfs_structure(self, tiny_merged):
+        cdfs = stats.readings_cdfs(tiny_merged)
+        assert set(cdfs) == {"per_user", "per_book"}
+        for values, probs in cdfs.values():
+            assert len(values) == len(probs)
+
+
+class TestGenreShares:
+    def test_shares_sum_to_one(self, tiny_merged):
+        shares = stats.genre_reading_shares(tiny_merged)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_comics_family_dominates(self, tiny_merged):
+        """The world is calibrated so the Comics family leads (Fig. 2)."""
+        shares = stats.genre_reading_shares(tiny_merged)
+        labelled = {g: s for g, s in shares.items() if g != "(unlabelled)"}
+        top_genre = max(labelled, key=labelled.get)
+        assert labelled[top_genre] > 0.25
+
+
+class TestDominance:
+    def test_within_bounds(self, tiny_merged):
+        dominance = stats.two_genre_dominance_share(tiny_merged)
+        assert 0.0 <= dominance <= 1.0
+
+    def test_majority_of_users_dominated(self, tiny_merged):
+        """The world gives every user two dominant genres (paper: 99 %)."""
+        assert stats.two_genre_dominance_share(tiny_merged) > 0.5
+
+    def test_factor_one_is_easier(self, tiny_merged):
+        loose = stats.two_genre_dominance_share(tiny_merged, factor=1.0)
+        strict = stats.two_genre_dominance_share(tiny_merged, factor=10.0)
+        assert loose >= strict
+
+
+class TestSummary:
+    def test_headline_fields(self, tiny_merged):
+        summary = stats.summary(tiny_merged)
+        assert summary["n_books"] == tiny_merged.n_books
+        assert summary["n_users"] == tiny_merged.n_users
+        assert summary["median_readings_per_user"] >= 1
+        assert summary["max_readings_per_book"] >= summary["median_readings_per_book"]

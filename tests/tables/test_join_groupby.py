@@ -1,0 +1,133 @@
+"""Tests for Table.join and Table.group_by."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.tables import Table, ops
+
+
+@pytest.fixture
+def loans():
+    return Table.from_columns(
+        {
+            "user": ["u1", "u1", "u2", "u3"],
+            "book": [1, 2, 1, 9],
+            "days": [7, 14, 3, 30],
+        }
+    )
+
+
+@pytest.fixture
+def catalogue():
+    return Table.from_columns(
+        {
+            "book": [1, 2, 3],
+            "title": ["alpha", "beta", "gamma"],
+            "price": [1.0, 2.0, 3.0],
+        }
+    )
+
+
+class TestJoin:
+    def test_inner_join_drops_unmatched(self, loans, catalogue):
+        joined = loans.join(catalogue, on="book")
+        assert joined.num_rows == 3  # book 9 has no catalogue entry
+        assert set(joined.column_names) == {"user", "book", "days", "title", "price"}
+
+    def test_inner_join_gathers_attributes(self, loans, catalogue):
+        joined = loans.join(catalogue, on="book").sort(["user", "book"])
+        assert joined["title"].tolist() == ["alpha", "beta", "alpha"]
+
+    def test_left_join_keeps_unmatched_with_missing(self, loans, catalogue):
+        joined = loans.join(catalogue.drop(["price"]), on="book", how="left")
+        assert joined.num_rows == 4
+        row = joined.filter(joined["book"] == 9).row(0)
+        assert row["title"] is None
+
+    def test_left_join_float_missing_is_nan(self, loans, catalogue):
+        joined = loans.join(catalogue.select(["book", "price"]), on="book", how="left")
+        missing = joined.filter(joined["book"] == 9)["price"]
+        assert np.isnan(missing[0])
+
+    def test_left_join_int_missing_raises(self, loans):
+        right = Table.from_columns({"book": [1], "edition": [3]})
+        with pytest.raises(SchemaError, match="missing-value"):
+            loans.join(right, on="book", how="left")
+
+    def test_one_to_many_duplicates_left_rows(self, catalogue):
+        votes = Table.from_columns(
+            {"book": [1, 1, 2], "genre": ["x", "y", "z"]}
+        )
+        joined = catalogue.join(votes, on="book")
+        assert joined.num_rows == 3
+        assert joined.filter(joined["book"] == 1).num_rows == 2
+
+    def test_multi_key_join(self):
+        left = Table.from_columns({"a": [1, 1, 2], "b": ["x", "y", "x"], "v": [1, 2, 3]})
+        right = Table.from_columns({"a": [1, 2], "b": ["x", "x"], "w": [10, 20]})
+        joined = left.join(right, on=["a", "b"])
+        assert joined.num_rows == 2
+        assert sorted(joined["w"].tolist()) == [10, 20]
+
+    def test_colliding_columns_get_suffix(self, catalogue):
+        other = Table.from_columns({"book": [1], "title": ["other"]})
+        joined = catalogue.join(other, on="book")
+        assert "title_right" in joined.schema
+        assert joined["title_right"][0] == "other"
+
+    def test_key_dtype_mismatch_rejected(self, catalogue):
+        other = Table.from_columns({"book": ["1"], "x": [1]})
+        with pytest.raises(SchemaError, match="dtype"):
+            catalogue.join(other, on="book")
+
+    def test_unsupported_join_type(self, loans, catalogue):
+        with pytest.raises(SchemaError, match="unsupported join"):
+            loans.join(catalogue, on="book", how="outer")
+
+
+class TestGroupBy:
+    def test_sizes(self, loans):
+        grouped = loans.group_by("user")
+        assert grouped.sizes() == {("u1",): 2, ("u2",): 1, ("u3",): 1}
+
+    def test_len(self, loans):
+        assert len(loans.group_by("user")) == 3
+
+    def test_iteration_yields_subtables(self, loans):
+        for key, sub in loans.group_by("user"):
+            assert all(u == key[0] for u in sub["user"])
+
+    def test_aggregate_count_and_sum(self, loans):
+        agg = loans.group_by("user").aggregate(
+            {"n": ("book", ops.count), "total_days": ("days", ops.sum_)}
+        )
+        by_user = {row["user"]: row for row in agg.iter_rows()}
+        assert by_user["u1"]["n"] == 2
+        assert by_user["u1"]["total_days"] == 21
+
+    def test_aggregate_mean_median(self, loans):
+        agg = loans.group_by("user").aggregate(
+            {"mean_days": ("days", ops.mean), "median_days": ("days", ops.median)}
+        )
+        row = agg.filter(agg["user"] == "u1").row(0)
+        assert row["mean_days"] == pytest.approx(10.5)
+        assert row["median_days"] == pytest.approx(10.5)
+
+    def test_aggregate_output_collision_rejected(self, loans):
+        with pytest.raises(SchemaError, match="collides"):
+            loans.group_by("user").aggregate({"user": ("days", ops.count)})
+
+    def test_group_by_requires_columns(self, loans):
+        with pytest.raises(SchemaError):
+            loans.group_by([])
+
+    def test_group_by_unknown_column(self, loans):
+        from repro.errors import ColumnNotFoundError
+
+        with pytest.raises(ColumnNotFoundError):
+            loans.group_by("nope")
+
+    def test_multi_key_grouping(self, loans):
+        grouped = loans.group_by(["user", "book"])
+        assert len(grouped) == 4

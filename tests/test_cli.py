@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "suite"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["experiment", "fig2"])
+        assert args.scale == "default"
+        assert args.seed is None
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_fig2_small(self, capsys):
+        assert main(["--scale", "small", "experiment", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["--scale", "small", "experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "BPR (BCT only)" in out
+
+    def test_generate(self, tmp_path, capsys):
+        target = tmp_path / "dataset"
+        assert main(["--scale", "small", "generate", str(target)]) == 0
+        assert (target / "books.csv").exists()
+        assert (target / "readings.csv").exists()
+        assert "saved merged dataset" in capsys.readouterr().out
+
+    def test_output_directory(self, tmp_path, capsys):
+        target = tmp_path / "results"
+        assert main(
+            ["--scale", "small", "--output", str(target),
+             "experiment", "fig2"]
+        ) == 0
+        written = target / "fig2.txt"
+        assert written.exists()
+        assert "Fig. 2" in written.read_text(encoding="utf-8")
+
+    def test_serve_demo(self, capsys):
+        assert main(["--scale", "small", "serve-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "mean latency" in out

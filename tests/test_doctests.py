@@ -1,0 +1,18 @@
+"""Execute the runnable examples embedded in module docstrings."""
+
+import doctest
+
+import repro.tables
+import repro.tables.ops
+
+
+def test_tables_docstring_examples():
+    results = doctest.testmod(repro.tables, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_ops_docstring_examples():
+    results = doctest.testmod(repro.tables.ops, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

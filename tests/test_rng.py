@@ -1,0 +1,54 @@
+"""Tests for the seeded RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, derive_rng, make_rng, spawn_seeds
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(5).integers(1000) == make_rng(5).integers(1000)
+
+    def test_none_uses_default(self):
+        assert (
+            make_rng(None).integers(1000)
+            == make_rng(DEFAULT_SEED).integers(1000)
+        )
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert make_rng(rng) is rng
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(5, "bpr", "negatives").integers(10**6)
+        b = derive_rng(5, "bpr", "negatives").integers(10**6)
+        assert a == b
+
+    def test_scopes_independent(self):
+        a = derive_rng(5, "bpr").integers(10**6)
+        b = derive_rng(5, "split").integers(10**6)
+        assert a != b
+
+    def test_seed_changes_stream(self):
+        a = derive_rng(5, "x").integers(10**6)
+        b = derive_rng(6, "x").integers(10**6)
+        assert a != b
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(1, 5)) == 5
+
+    def test_distinct(self):
+        seeds = spawn_seeds(1, 20)
+        assert len(set(seeds)) == 20
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_zero(self):
+        assert spawn_seeds(1, 0) == []

@@ -1,0 +1,92 @@
+"""Tests for the SBERT-substitute sentence embedders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.text.embedder import (
+    HashedCountEmbedder,
+    HashedTfidfEmbedder,
+    SentenceEmbedder,
+)
+
+CORPUS = [
+    "Umberto Eco Thriller Thriller Crime",
+    "Umberto Eco Novels",
+    "Dafne Ferrari Comics Comics",
+    "Marco Rossi Fantasy drago regno",
+    "Marco Rossi Fantasy spada profezia",
+]
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return HashedTfidfEmbedder(dim=256).fit(CORPUS)
+
+
+class TestInterface:
+    def test_protocol_conformance(self, embedder):
+        assert isinstance(embedder, SentenceEmbedder)
+
+    def test_encode_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            HashedTfidfEmbedder().encode(["x"])
+
+    def test_shapes(self, embedder):
+        matrix = embedder.encode(["a", "b", "c"])
+        assert matrix.shape == (3, 256)
+
+    def test_rows_unit_norm(self, embedder):
+        matrix = embedder.encode(CORPUS)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_empty_text_is_zero(self, embedder):
+        assert np.linalg.norm(embedder.encode([""])) == 0.0
+
+    def test_deterministic(self, embedder):
+        first = embedder.encode(["Umberto Eco"])
+        second = embedder.encode(["Umberto Eco"])
+        assert np.array_equal(first, second)
+
+
+class TestGeometry:
+    def test_identical_texts_cosine_one(self, embedder):
+        pair = embedder.encode(["Eco Crime", "Eco Crime"])
+        assert pair[0] @ pair[1] == pytest.approx(1.0)
+
+    def test_shared_author_closer_than_unrelated(self, embedder):
+        texts = embedder.encode(
+            [
+                "Umberto Eco Thriller",
+                "Umberto Eco Novels",
+                "Dafne Ferrari Comics",
+            ]
+        )
+        same_author = texts[0] @ texts[1]
+        different = texts[0] @ texts[2]
+        assert same_author > different
+
+    def test_shared_genre_vocabulary_closer(self, embedder):
+        texts = embedder.encode(
+            [
+                "drago regno spada",
+                "drago profezia regno",
+                "vignetta tavola fumetto",
+            ]
+        )
+        assert texts[0] @ texts[1] > texts[0] @ texts[2]
+
+    def test_unseen_words_still_encodable(self, embedder):
+        vector = embedder.encode(["parola mai vista prima"])
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+
+class TestCountEmbedder:
+    def test_flat_idf(self):
+        embedder = HashedCountEmbedder(dim=64).fit(CORPUS)
+        assert np.allclose(embedder._tfidf._idf, 1.0)
+
+    def test_encodes(self):
+        embedder = HashedCountEmbedder(dim=64).fit(CORPUS)
+        assert embedder.encode(["Eco"]).shape == (1, 64)

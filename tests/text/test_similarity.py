@@ -1,0 +1,77 @@
+"""Tests for cosine-similarity kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError
+from repro.text.similarity import (
+    average_similarity_to_history,
+    cosine_similarity_matrix,
+)
+
+
+class TestCosineMatrix:
+    def test_self_similarity_diagonal_one(self):
+        matrix = np.asarray([[1.0, 0.0], [3.0, 4.0]])
+        sim = cosine_similarity_matrix(matrix)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_orthogonal_rows(self):
+        matrix = np.asarray([[1.0, 0.0], [0.0, 2.0]])
+        sim = cosine_similarity_matrix(matrix)
+        assert sim[0, 1] == pytest.approx(0.0)
+
+    def test_scale_invariance(self):
+        left = np.asarray([[1.0, 2.0]])
+        right = np.asarray([[10.0, 20.0]])
+        assert cosine_similarity_matrix(left, right)[0, 0] == pytest.approx(1.0)
+
+    def test_zero_rows_give_zero(self):
+        matrix = np.asarray([[0.0, 0.0], [1.0, 1.0]])
+        sim = cosine_similarity_matrix(matrix)
+        assert sim[0, 1] == 0.0
+        assert not np.isnan(sim).any()
+
+    def test_rectangular(self):
+        left = np.ones((3, 4))
+        right = np.ones((2, 4))
+        assert cosine_similarity_matrix(left, right).shape == (3, 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            cosine_similarity_matrix(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cosine_similarity_matrix(np.ones(3))
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 6), st.integers(1, 5)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    def test_property_values_bounded(self, matrix):
+        sim = cosine_similarity_matrix(matrix)
+        assert (sim <= 1.0).all()
+        assert (sim >= -1.0).all()
+        assert np.allclose(sim, sim.T)
+
+
+class TestAverageSimilarity:
+    def test_matches_equation_one(self):
+        sim = np.asarray(
+            [[1.0, 0.2, 0.8], [0.2, 1.0, 0.4], [0.8, 0.4, 1.0]]
+        )
+        history = np.asarray([1, 2])
+        scores = average_similarity_to_history(sim, history)
+        assert scores[0] == pytest.approx((0.2 + 0.8) / 2)
+
+    def test_empty_history_is_zero(self):
+        sim = np.eye(3)
+        scores = average_similarity_to_history(sim, np.asarray([], dtype=int))
+        assert (scores == 0).all()

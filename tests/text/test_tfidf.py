@@ -1,0 +1,70 @@
+"""Tests for bucket-level TF-IDF."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.text.tfidf import TfidfModel
+
+
+def docs(*sparse):
+    return [dict(d) for d in sparse]
+
+
+class TestFit:
+    def test_idf_formula(self):
+        model = TfidfModel(dim=4).fit(docs({0: 1.0}, {0: 1.0}, {1: 1.0}))
+        # bucket 0: df=2, n=3 -> ln(4/3)+1 ; bucket 1: df=1 -> ln(4/2)+1
+        assert model._idf[0] == pytest.approx(math.log(4 / 3) + 1)
+        assert model._idf[1] == pytest.approx(math.log(4 / 2) + 1)
+
+    def test_unseen_bucket_gets_max_idf(self):
+        model = TfidfModel(dim=4).fit(docs({0: 1.0}))
+        assert model._idf[3] == pytest.approx(math.log(2 / 1) + 1)
+        assert model._idf[3] > model._idf[0]
+
+    def test_zero_values_not_counted_in_df(self):
+        model = TfidfModel(dim=2).fit(docs({0: 0.0}))
+        assert model._idf[0] == model._idf[1]
+
+    def test_is_fitted_flag(self):
+        model = TfidfModel(dim=2)
+        assert not model.is_fitted
+        model.fit([])
+        assert model.is_fitted
+
+
+class TestTransform:
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            TfidfModel(dim=2).transform({0: 1.0})
+
+    def test_output_unit_norm(self):
+        model = TfidfModel(dim=8).fit(docs({0: 2.0, 1: 1.0}))
+        vector = model.transform({0: 2.0, 1: 1.0})
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_document_is_zero_vector(self):
+        model = TfidfModel(dim=8).fit(docs({0: 1.0}))
+        assert np.linalg.norm(model.transform({})) == 0.0
+
+    def test_sign_preserved(self):
+        model = TfidfModel(dim=8, sublinear_tf=False).fit(docs({0: 1.0}))
+        vector = model.transform({0: -3.0, 1: 2.0})
+        assert vector[0] < 0 < vector[1]
+
+    def test_sublinear_dampens_repeats(self):
+        flat = TfidfModel(dim=8, sublinear_tf=False).fit(docs({0: 1.0, 1: 1.0}))
+        sub = TfidfModel(dim=8, sublinear_tf=True).fit(docs({0: 1.0, 1: 1.0}))
+        # One bucket repeated 100x vs another seen once.
+        doc = {0: 100.0, 1: 1.0}
+        ratio_flat = abs(flat.transform(doc)[0] / flat.transform(doc)[1])
+        ratio_sub = abs(sub.transform(doc)[0] / sub.transform(doc)[1])
+        assert ratio_sub < ratio_flat
+
+    def test_transform_many_shape(self):
+        model = TfidfModel(dim=8).fit(docs({0: 1.0}))
+        matrix = model.transform_many(docs({0: 1.0}, {1: 2.0}, {}))
+        assert matrix.shape == (3, 8)
