@@ -1,0 +1,88 @@
+"""Bench for the vectorised scoring fast paths.
+
+Kernels: CSR-scatter masking, batched top-k, rank-only (counting)
+evaluation, the truncated sparse similarity build, and cached serving —
+each asserted equivalent to its reference path while being timed. The
+end-to-end JSON artefact comes from ``python -m repro bench``
+(:func:`repro.perf.fastpath.run_fastpath_bench`); this suite tracks the
+kernels under pytest-benchmark.
+"""
+
+import numpy as np
+
+from repro.app.service import RecommendationRequest, RecommendationService
+from repro.core.closest_items import ClosestItems
+from repro.eval.evaluator import evaluate_model
+from repro.perf.fastpath import FastpathBenchConfig, run_fastpath_bench
+
+
+def _eval_users(context):
+    return np.asarray(sorted(context.split.test_items), dtype=np.int64)
+
+
+def test_masking_fast_path(benchmark, context, fitted_bpr):
+    users = _eval_users(context)
+    fast = benchmark(fitted_bpr.masked_scores, users)
+    assert np.array_equal(fast, fitted_bpr.masked_scores_reference(users))
+
+
+def test_batch_topk_fast_path(benchmark, context, fitted_bpr):
+    users = _eval_users(context)
+    k = context.config.k
+    fast = benchmark(fitted_bpr.recommend_batch, users, k)
+    reference = fitted_bpr.recommend_batch_reference(users, k)
+    assert all(np.array_equal(f, r) for f, r in zip(fast, reference))
+
+
+def test_rank_only_evaluation(benchmark, context, fitted_bpr):
+    result = benchmark(
+        evaluate_model, fitted_bpr, context.split, ks=(context.config.k,),
+        rank_method="count",
+    )
+    reference = evaluate_model(
+        fitted_bpr, context.split, ks=(context.config.k,),
+        rank_method="argsort",
+    )
+    assert result.kpis == reference.kpis
+
+
+def test_truncated_similarity_memory(benchmark, context, fitted_closest):
+    def fit_sparse():
+        model = ClosestItems(
+            fields=("author", "genres"), top_n_neighbors=20, block_size=256
+        )
+        return model.fit(context.split.train, context.merged)
+
+    sparse_model = benchmark.pedantic(fit_sparse, rounds=2, iterations=1)
+    assert sparse_model.similarity_nbytes() < fitted_closest.similarity_nbytes()
+
+
+def test_cached_serving(benchmark, context, fitted_bpr):
+    service = RecommendationService(
+        fitted_bpr, context.split.train, context.merged
+    )
+    user_id = str(context.split.train.users.id_of(0))
+    request = RecommendationRequest(user_id=user_id, k=context.config.k)
+    cold = service.recommend(request)
+    warm = benchmark(service.recommend, request)
+    assert [b.book_id for b in warm] == [b.book_id for b in cold]
+    assert service.stats.cache_hits >= 1
+
+
+def test_fastpath_report(tmp_path):
+    """The JSON artefact pipeline end to end, at smoke scale."""
+    config = FastpathBenchConfig(
+        n_books=400, n_authors=150, n_bct_users=80, n_anobii_users=300,
+        repeats=1, serve_requests=40, serve_users=10,
+    )
+    out = tmp_path / "BENCH_fastpath.json"
+    report = run_fastpath_bench(config, output_path=out)
+    assert out.exists()
+    for section in ("masking", "evaluation", "similarity", "serving"):
+        assert section in report
+    assert report["evaluation"]["speedup"] > 0
+    assert (
+        report["similarity"]["truncated_sparse_nbytes"]
+        < report["similarity"]["dense_nbytes"]
+    )
+    assert report["serving"]["cache_hits"] > 0

@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Run the fast-path perf bench and write ``BENCH_fastpath.json``.
+
+Equivalent to ``python -m repro bench``; kept as a standalone entry point
+so CI and cron jobs can call it without the experiment CLI. The script
+adds ``src/`` to ``sys.path`` itself, so it works from a plain checkout.
+
+Usage::
+
+    python scripts/bench.py [--bench-output PATH] [--repeats N] [--quick]
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -5,12 +5,22 @@ The paper's application shows each library user a list of k = 20 books
 prevention of users' choice overload"). This module provides that request
 path over any fitted :class:`~repro.core.base.Recommender`: user id in,
 book cards out, with latency accounting matching Table 2's methodology.
+
+Serving-scale additions: a bounded LRU cache of served top-k lists keyed
+on ``(user_id, k)`` (models are read-only between refreshes, so a user's
+list only changes when the model does — :meth:`RecommendationService.refresh_model`
+invalidates the cache explicitly), a :meth:`~RecommendationService.recommend_many`
+batch endpoint that funnels cache misses through the vectorised
+:meth:`~repro.core.base.Recommender.recommend_batch` scoring path, and a
+bounded latency window so long-lived services don't grow without limit.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -22,6 +32,12 @@ from repro.errors import ConfigurationError, UnknownUserError
 
 #: The paper's deployed list length.
 DEFAULT_K = 20
+
+#: Served top-k lists kept in the LRU cache by default.
+DEFAULT_CACHE_SIZE = 1024
+
+#: Per-request latencies kept for percentile reporting by default.
+DEFAULT_LATENCY_WINDOW = 10_000
 
 
 @dataclass(frozen=True)
@@ -48,20 +64,48 @@ class ServedBook:
 
 @dataclass
 class ServiceStats:
-    """Aggregate latency accounting (Table 2 semantics)."""
+    """Aggregate latency and cache accounting (Table 2 semantics).
+
+    ``latencies`` is a bounded deque (``latency_window`` most recent
+    requests) so a long-lived service's memory stays constant;
+    :meth:`percentile` reports over that window.
+    """
 
     requests: int = 0
     total_seconds: float = 0.0
-    latencies: list[float] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    latency_window: int = DEFAULT_LATENCY_WINDOW
+    latencies: deque = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.latency_window < 1:
+            raise ConfigurationError(
+                f"latency_window must be >= 1, got {self.latency_window}"
+            )
+        self.latencies = deque(maxlen=self.latency_window)
 
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.requests if self.requests else 0.0
 
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
     def percentile(self, q: float) -> float:
         if not self.latencies:
             return 0.0
         return float(np.quantile(np.asarray(self.latencies), q))
+
+    def record(self, elapsed: float, requests: int = 1) -> None:
+        """Account ``requests`` requests served in ``elapsed`` seconds."""
+        self.requests += requests
+        self.total_seconds += elapsed
+        per_request = elapsed / requests if requests else 0.0
+        for _ in range(requests):
+            self.latencies.append(per_request)
 
 
 class RecommendationService:
@@ -77,6 +121,10 @@ class RecommendationService:
             unknown users receive the global top-k instead of an error.
             (The paper leaves personalised cold-start to future work; a
             popularity list is the standard deployed stopgap.)
+        cache_size: served lists kept in the LRU top-k cache; ``0``
+            disables caching.
+        latency_window: per-request latencies retained for percentile
+            reporting.
     """
 
     def __init__(
@@ -85,6 +133,8 @@ class RecommendationService:
         train: InteractionMatrix,
         dataset: MergedDataset,
         cold_start_fallback: "MostReadItems | None" = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
     ) -> None:
         if not model.is_fitted:
             raise ConfigurationError(
@@ -94,11 +144,19 @@ class RecommendationService:
             raise ConfigurationError(
                 "the cold-start fallback must be fitted before serving"
             )
+        if cache_size < 0:
+            raise ConfigurationError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
         self.model = model
         self.train = train
         self.dataset = dataset
         self.cold_start_fallback = cold_start_fallback
-        self.stats = ServiceStats()
+        self.cache_size = cache_size
+        self.stats = ServiceStats(latency_window=latency_window)
+        self._cache: OrderedDict[tuple[str, int], tuple[ServedBook, ...]] = (
+            OrderedDict()
+        )
         self._cards: dict[int, tuple[str, str]] = {}
         books = dataset.books
         for book_id, title, author in zip(
@@ -109,33 +167,124 @@ class RecommendationService:
     def known_user(self, user_id: str) -> bool:
         return user_id in self.train.users
 
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+
+    @property
+    def cached_entries(self) -> int:
+        return len(self._cache)
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached top-k list (e.g. after retraining)."""
+        self._cache.clear()
+
+    def refresh_model(
+        self,
+        model: Recommender,
+        train: InteractionMatrix | None = None,
+        cold_start_fallback: "MostReadItems | None" = None,
+    ) -> None:
+        """Swap in a newly fitted model and invalidate the served cache.
+
+        Cached lists are only valid for the model that produced them, so
+        any refresh clears the cache explicitly.
+        """
+        if not model.is_fitted:
+            raise ConfigurationError(
+                f"{model.name} must be fitted before serving"
+            )
+        if cold_start_fallback is not None and not cold_start_fallback.is_fitted:
+            raise ConfigurationError(
+                "the cold-start fallback must be fitted before serving"
+            )
+        self.model = model
+        if train is not None:
+            self.train = train
+        if cold_start_fallback is not None:
+            self.cold_start_fallback = cold_start_fallback
+        self.invalidate_cache()
+
+    def _cache_get(self, key: tuple[str, int]) -> tuple[ServedBook, ...] | None:
+        if not self.cache_size:
+            return None
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+        return cached
+
+    def _cache_put(self, key: tuple[str, int], books: tuple[ServedBook, ...]) -> None:
+        if not self.cache_size:
+            return
+        self._cache[key] = books
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # request paths
+    # ------------------------------------------------------------------
+
     def recommend(self, request: RecommendationRequest) -> list[ServedBook]:
         """Handle one request.
 
         Unknown users raise :class:`UnknownUserError` unless a cold-start
         fallback was configured, in which case they get the global most-read
-        list.
+        list. Served lists are answered from the LRU cache when possible.
         """
         started = time.perf_counter()
-        if self.known_user(request.user_id):
-            user_index = self.train.users.index_of(request.user_id)
-            items = self.model.recommend(int(user_index), request.k)
-        elif self.cold_start_fallback is not None:
-            items = self.cold_start_fallback.top_items(request.k)
-        else:
-            raise UnknownUserError(request.user_id)
-        elapsed = time.perf_counter() - started
-        self.stats.requests += 1
-        self.stats.total_seconds += elapsed
-        self.stats.latencies.append(elapsed)
-        served = []
-        for rank, item_index in enumerate(items, start=1):
-            book_id = int(self.train.items.id_of(int(item_index)))
-            title, author = self._cards.get(book_id, ("(unknown)", "(unknown)"))
-            served.append(
-                ServedBook(book_id=book_id, title=title, author=author, rank=rank)
-            )
-        return served
+        key = (request.user_id, request.k)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self.stats.record(time.perf_counter() - started)
+            return list(cached)
+        self.stats.cache_misses += 1
+        served = tuple(self._serve_books(self._score_one(request), request.k))
+        self._cache_put(key, served)
+        self.stats.record(time.perf_counter() - started)
+        return list(served)
+
+    def recommend_many(
+        self, requests: Sequence[RecommendationRequest]
+    ) -> list[list[ServedBook]]:
+        """Handle a batch of requests in one scoring pass per distinct k.
+
+        Cache hits are answered directly; the remaining known users funnel
+        through :meth:`~repro.core.base.Recommender.recommend_batch`, which
+        scores and top-k-cuts the whole group with vectorised kernels.
+        """
+        started = time.perf_counter()
+        results: list[list[ServedBook] | None] = [None] * len(requests)
+        pending: dict[int, list[tuple[int, int]]] = {}
+        for position, request in enumerate(requests):
+            key = (request.user_id, request.k)
+            cached = self._cache_get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                results[position] = list(cached)
+                continue
+            self.stats.cache_misses += 1
+            if self.known_user(request.user_id):
+                user_index = int(self.train.users.index_of(request.user_id))
+                pending.setdefault(request.k, []).append((position, user_index))
+            elif self.cold_start_fallback is not None:
+                items = self.cold_start_fallback.top_items(request.k)
+                served = tuple(self._serve_books(items, request.k))
+                self._cache_put(key, served)
+                results[position] = list(served)
+            else:
+                raise UnknownUserError(request.user_id)
+        for k, entries in pending.items():
+            indices = np.asarray([index for _, index in entries], dtype=np.int64)
+            batches = self.model.recommend_batch(indices, k)
+            for (position, _), items in zip(entries, batches):
+                served = tuple(self._serve_books(items, k))
+                self._cache_put((requests[position].user_id, k), served)
+                results[position] = list(served)
+        if requests:
+            self.stats.record(time.perf_counter() - started, len(requests))
+        return [result if result is not None else [] for result in results]
 
     def history(self, user_id: str) -> list[ServedBook]:
         """The user's training history as cards (for the GUI's shelf view)."""
@@ -153,3 +302,25 @@ class RecommendationService:
                            rank=position)
             )
         return cards
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _score_one(self, request: RecommendationRequest) -> np.ndarray:
+        if self.known_user(request.user_id):
+            user_index = self.train.users.index_of(request.user_id)
+            return self.model.recommend(int(user_index), request.k)
+        if self.cold_start_fallback is not None:
+            return self.cold_start_fallback.top_items(request.k)
+        raise UnknownUserError(request.user_id)
+
+    def _serve_books(self, items: np.ndarray, k: int) -> list[ServedBook]:
+        served = []
+        for rank, item_index in enumerate(items, start=1):
+            book_id = int(self.train.items.id_of(int(item_index)))
+            title, author = self._cards.get(book_id, ("(unknown)", "(unknown)"))
+            served.append(
+                ServedBook(book_id=book_id, title=title, author=author, rank=rank)
+            )
+        return served

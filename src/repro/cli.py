@@ -10,6 +10,9 @@ Commands:
   pipeline, and save the merged dataset as CSV tables.
 - ``serve-demo`` — fit BPR and answer a few sample recommendation
   requests through the application service.
+- ``bench`` — run the fast-path perf bench (masking, rank-only
+  evaluation, similarity build, cached serving) and write
+  ``BENCH_fastpath.json``.
 """
 
 from __future__ import annotations
@@ -55,6 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("directory")
 
     sub.add_parser("serve-demo", help="fit BPR and serve sample requests")
+
+    bench = sub.add_parser(
+        "bench", help="run the fast-path perf bench and write JSON"
+    )
+    bench.add_argument(
+        "--bench-output", default=None, metavar="PATH",
+        help="where to write the bench JSON (default: BENCH_fastpath.json)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="best-of repeats per kernel (default: 5)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small dataset for smoke runs (not representative)",
+    )
     return parser
 
 
@@ -81,6 +100,8 @@ def main(argv: list[str] | None = None) -> int:
         _generate(context, args.directory)
     elif args.command == "serve-demo":
         _serve_demo(context)
+    elif args.command == "bench":
+        _bench(args)
     return 0
 
 
@@ -131,6 +152,63 @@ def _serve_demo(context: ExperimentContext) -> None:
         f"served {service.stats.requests} requests, "
         f"mean latency {service.stats.mean_seconds * 1000:.1f} ms"
     )
+
+
+def _bench(args: argparse.Namespace) -> None:
+    from dataclasses import replace as dc_replace
+
+    from repro.perf.fastpath import (
+        DEFAULT_OUTPUT,
+        FastpathBenchConfig,
+        run_fastpath_bench,
+    )
+
+    config = FastpathBenchConfig()
+    if args.quick:
+        config = dc_replace(
+            config,
+            n_books=600, n_authors=200, n_bct_users=120, n_anobii_users=500,
+            repeats=2, serve_requests=60,
+        )
+    if args.repeats is not None:
+        config = dc_replace(config, repeats=args.repeats)
+    report = run_fastpath_bench(
+        config, output_path=args.bench_output or DEFAULT_OUTPUT
+    )
+    print(render_bench_report(report))
+
+
+def render_bench_report(report: dict) -> str:
+    """A human-readable summary of a fast-path bench report."""
+    dataset = report["dataset"]
+    masking = report["masking"]
+    evaluation = report["evaluation"]
+    similarity = report["similarity"]
+    serving = report["serving"]
+    lines = [
+        "fast-path bench "
+        f"({dataset['n_users']} users x {dataset['n_items']} items, "
+        f"{dataset['n_test_users']} eval users)",
+        f"  masking     {masking['reference_seconds'] * 1e3:8.2f} ms -> "
+        f"{masking['fast_seconds'] * 1e3:8.2f} ms "
+        f"({masking['speedup']:.1f}x)",
+        f"  evaluation  {evaluation['argsort_seconds'] * 1e3:8.2f} ms -> "
+        f"{evaluation['count_seconds'] * 1e3:8.2f} ms "
+        f"({evaluation['speedup']:.1f}x)",
+        f"  similarity  {similarity['dense_build_seconds'] * 1e3:8.2f} ms dense, "
+        f"{similarity['blockwise_float32_build_seconds'] * 1e3:.2f} ms "
+        f"blockwise f32; memory {similarity['dense_nbytes'] / 1e6:.1f} MB -> "
+        f"{similarity['truncated_sparse_nbytes'] / 1e6:.1f} MB "
+        f"({similarity['memory_ratio']:.1f}x smaller, "
+        f"top-{similarity['top_n_neighbors']})",
+        f"  serving     {serving['uncached_seconds_per_request'] * 1e3:8.3f} ms -> "
+        f"{serving['cached_seconds_per_request'] * 1e3:8.3f} ms/request cached "
+        f"({serving['cache_speedup']:.0f}x), batch "
+        f"{serving['batch_seconds_per_request'] * 1e3:.3f} ms/request",
+    ]
+    if "output_path" in report:
+        lines.append(f"  written to {report['output_path']}")
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":

@@ -205,7 +205,10 @@ class BPR(Recommender):
         resolved = trials > 0
         if not resolved.any():
             return 0.0, 0
-        rank_estimate = np.maximum((n_items - 1) // trials[resolved], 1)
+        # Float division: floor division quantises the estimate for small
+        # catalogues and collapses to 0 (rescued only by the maximum) as
+        # soon as trials exceeds n_items - 1.
+        rank_estimate = np.maximum((n_items - 1) / trials[resolved], 1.0)
         weight = np.log1p(rank_estimate) / np.log1p(n_items - 1)
         self._apply_updates(
             V, P,

@@ -10,18 +10,29 @@ The metadata summary is a configurable concatenation of title, author,
 plot, genres, and keywords (Section 6.2 ablates every combination; author +
 genres wins). Embeddings come from any :class:`SentenceEmbedder`; the
 default is the SBERT substitute :class:`HashedTfidfEmbedder`.
+
+Serving-scale controls: ``block_size`` and ``dtype`` bound the similarity
+build's working set (see :func:`~repro.text.similarity.cosine_similarity_matrix`),
+and ``top_n_neighbors`` switches to a truncated sparse similarity — each
+item keeps only its ``n`` strongest neighbours in a CSR matrix, and Eq. (1)
+becomes one sparse matmul against the chunk's user-history indicator rows
+instead of a per-user ``similarity[:, history].mean`` loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse
 
 from repro.core.base import Recommender
 from repro.core.interactions import InteractionMatrix
 from repro.datasets.merged import MergedDataset
 from repro.errors import ConfigurationError, NotFittedError
 from repro.text.embedder import HashedTfidfEmbedder, SentenceEmbedder
-from repro.text.similarity import cosine_similarity_matrix
+from repro.text.similarity import (
+    cosine_similarity_matrix,
+    truncated_similarity_matrix,
+)
 from repro.text.summary import MetadataSummaryBuilder
 
 
@@ -33,6 +44,14 @@ class ClosestItems(Recommender):
             paper's best combination, ``("author", "genres")``.
         embedder: a fitted-on-demand sentence embedder. Defaults to a fresh
             :class:`HashedTfidfEmbedder`.
+        top_n_neighbors: when set, keep only each item's ``n`` strongest
+            similarities in a CSR matrix (O(B·n) memory instead of the
+            O(B²) dense matrix) and score via sparse matmul. ``None``
+            (the default) keeps the paper's exact dense similarity.
+        block_size: row-block size for the similarity build; ``None``
+            computes it in one pass.
+        dtype: similarity precision (``np.float64`` default;
+            ``np.float32`` halves memory).
     """
 
     exclude_seen = True
@@ -41,11 +60,22 @@ class ClosestItems(Recommender):
         self,
         fields: tuple[str, ...] = ("author", "genres"),
         embedder: SentenceEmbedder | None = None,
+        top_n_neighbors: int | None = None,
+        block_size: int | None = None,
+        dtype: np.dtype | type = np.float64,
     ) -> None:
         super().__init__()
+        if top_n_neighbors is not None and top_n_neighbors < 1:
+            raise ConfigurationError(
+                f"top_n_neighbors must be >= 1 or None, got {top_n_neighbors}"
+            )
         self.summary_builder = MetadataSummaryBuilder(fields)
         self.embedder = embedder or HashedTfidfEmbedder()
+        self.top_n_neighbors = top_n_neighbors
+        self.block_size = block_size
+        self.dtype = dtype
         self._similarity: np.ndarray | None = None
+        self._similarity_sparse: sparse.csr_matrix | None = None
 
     @property
     def name(self) -> str:
@@ -73,23 +103,77 @@ class ClosestItems(Recommender):
             ) from exc
         self.embedder.fit(summaries)
         embeddings = self.embedder.encode(summaries)
-        self._similarity = cosine_similarity_matrix(embeddings)
+        if self.top_n_neighbors is not None:
+            self._similarity_sparse = truncated_similarity_matrix(
+                embeddings,
+                self.top_n_neighbors,
+                block_size=self.block_size,
+                dtype=self.dtype,
+            )
+            self._similarity = None
+            return
+        self._similarity = cosine_similarity_matrix(
+            embeddings, block_size=self.block_size, dtype=self.dtype
+        )
         # A book is trivially most similar to itself; zero the diagonal so
         # self-similarity never contributes to Eq. (1).
         np.fill_diagonal(self._similarity, 0.0)
+        self._similarity_sparse = None
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the fitted similarity is the truncated sparse form."""
+        return self._similarity_sparse is not None
 
     @property
     def similarity(self) -> np.ndarray:
-        """The item-item cosine similarity matrix (diagonal zeroed)."""
-        if self._similarity is None:
+        """The item-item cosine similarity matrix (diagonal zeroed).
+
+        In truncated sparse mode this densifies the CSR matrix — use
+        :attr:`similarity_sparse` for the memory-bounded representation.
+        """
+        if self._similarity is not None:
+            return self._similarity
+        if self._similarity_sparse is not None:
+            return self._similarity_sparse.toarray()
+        raise NotFittedError(self.name)
+
+    @property
+    def similarity_sparse(self) -> sparse.csr_matrix:
+        """The truncated top-N similarity (only in sparse mode)."""
+        if self._similarity_sparse is None:
             raise NotFittedError(self.name)
-        return self._similarity
+        return self._similarity_sparse
+
+    def similarity_nbytes(self) -> int:
+        """Bytes held by the fitted similarity representation."""
+        if self._similarity_sparse is not None:
+            csr = self._similarity_sparse
+            return int(
+                csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes
+            )
+        if self._similarity is not None:
+            return int(self._similarity.nbytes)
+        raise NotFittedError(self.name)
 
     def score_users(self, user_indices: np.ndarray) -> np.ndarray:
-        similarity = self.similarity
+        user_indices = np.asarray(user_indices, dtype=np.int64)
         train = self.train
+        if self._similarity_sparse is not None:
+            # Eq. (1) for the whole chunk in one sparse matmul: the binary
+            # history rows H (chunk × B) against S^T give
+            # (H @ S^T)[u, b] = sum_{i in N_u} s_{b,i}; divide by |N_u|.
+            history = train.binary()[user_indices]
+            sums = np.asarray(
+                (history @ self._similarity_sparse.T).todense(),
+                dtype=np.float64,
+            )
+            counts = np.asarray(history.sum(axis=1)).ravel()
+            safe = np.where(counts > 0, counts, 1.0)
+            return sums / safe[:, None]
+        similarity = self.similarity
         scores = np.zeros((len(user_indices), train.n_items), dtype=np.float64)
-        for row, user_index in enumerate(np.asarray(user_indices)):
+        for row, user_index in enumerate(user_indices):
             history = train.user_items(int(user_index))
             if history.size:
                 scores[row] = similarity[:, history].mean(axis=1)
@@ -97,6 +181,11 @@ class ClosestItems(Recommender):
 
     def most_similar(self, item_index: int, k: int = 10) -> list[tuple[int, float]]:
         """The ``k`` catalogue items most similar to one item (diagnostics)."""
-        row = self.similarity[item_index]
+        if self._similarity_sparse is not None:
+            row = np.asarray(
+                self._similarity_sparse.getrow(item_index).todense()
+            ).ravel()
+        else:
+            row = self.similarity[item_index]
         top = np.argsort(-row, kind="stable")[:k]
         return [(int(i), float(row[i])) for i in top]

@@ -30,6 +30,23 @@ class Indexer:
     def __init__(self, ids: Iterable[Hashable]) -> None:
         self._ids: tuple = tuple(sorted(set(ids)))
         self._index_of = {value: i for i, value in enumerate(self._ids)}
+        # The ids are sorted, so bulk lookups can binary-search a cached
+        # array instead of doing one dict probe per element.
+        self._id_array = self._as_flat_array(self._ids)
+
+    @staticmethod
+    def _as_flat_array(values: Sequence[Hashable]) -> np.ndarray | None:
+        """A sortable 1-D array view of ``values``, or None if numpy would
+        mangle them (e.g. tuples becoming a 2-D array)."""
+        if not values:
+            return None
+        try:
+            array = np.asarray(values)
+        except (TypeError, ValueError):
+            return None
+        if array.ndim != 1 or len(array) != len(values):
+            return None
+        return array
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -58,8 +75,33 @@ class Indexer:
         return self._ids
 
     def indices_of(self, values: Sequence[Hashable]) -> np.ndarray:
-        """Vectorised :meth:`index_of` over a sequence."""
-        return np.asarray([self._index_of[value] for value in values], dtype=np.int64)
+        """Vectorised :meth:`index_of` over a sequence.
+
+        Uses one ``np.searchsorted`` over the sorted id array instead of a
+        per-element dict lookup; unknown values raise :class:`KeyError`
+        exactly like :meth:`index_of`.
+        """
+        values = list(values)
+        if not values:
+            return np.empty(0, dtype=np.int64)
+        values_array = self._as_flat_array(values)
+        if self._id_array is None or values_array is None:
+            return np.asarray(
+                [self._index_of[value] for value in values], dtype=np.int64
+            )
+        try:
+            positions = np.searchsorted(self._id_array, values_array)
+        except (TypeError, ValueError):
+            return np.asarray(
+                [self._index_of[value] for value in values], dtype=np.int64
+            )
+        positions = np.minimum(positions, len(self._ids) - 1)
+        matched = self._id_array[positions] == values_array
+        matched = np.asarray(matched, dtype=bool)
+        if not matched.all():
+            missing = values[int(np.flatnonzero(~matched)[0])]
+            raise KeyError(missing)
+        return positions.astype(np.int64, copy=False)
 
 
 class InteractionMatrix:
@@ -89,14 +131,19 @@ class InteractionMatrix:
         users: Indexer | None = None,
         items: Indexer | None = None,
     ) -> "InteractionMatrix":
-        """Build from (user id, item id) events; repeats accumulate counts."""
+        """Build from (user id, item id) events; repeats accumulate counts.
+
+        Index resolution runs through the vectorised
+        :meth:`Indexer.indices_of` (one binary search over the sorted id
+        arrays) rather than one dict probe per event.
+        """
         pairs = list(pairs)
         if users is None:
             users = Indexer(user for user, _ in pairs)
         if items is None:
             items = Indexer(item for _, item in pairs)
-        rows = np.asarray([users.index_of(u) for u, _ in pairs], dtype=np.int64)
-        cols = np.asarray([items.index_of(i) for _, i in pairs], dtype=np.int64)
+        rows = users.indices_of([user for user, _ in pairs])
+        cols = items.indices_of([item for _, item in pairs])
         data = np.ones(len(pairs), dtype=np.float64)
         matrix = sparse.coo_matrix(
             (data, (rows, cols)), shape=(len(users), len(items))

@@ -27,6 +27,13 @@ from repro.eval.split import DatasetSplit
 DEFAULT_CHUNK_SIZE = 256
 LATENCY_SAMPLE_USERS = 50
 
+#: Held-out rank computation strategies: "count" derives each rank by
+#: counting the scores above it (one value sort + binary searches per row,
+#: the fast path); "argsort" ranks every item of every user via a full
+#: stable argsort (the original reference path). Both produce identical
+#: integer ranks.
+RANK_METHODS = ("count", "argsort")
+
 
 @dataclass(frozen=True)
 class PerUserOutcome:
@@ -89,17 +96,24 @@ def evaluate_model(
     holdout: str = "test",
     measure_latency: bool = False,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    rank_method: str = "count",
 ) -> EvaluationResult:
     """Evaluate an already-fitted model.
 
     ``holdout`` selects the ground truth: ``"test"`` (BCT users, the
     paper's Table 1 setting) or ``"val"`` restricted to BCT users (the grid
-    search setting).
+    search setting). ``rank_method`` picks the held-out rank computation
+    (see :data:`RANK_METHODS`); the default counting path never sorts the
+    full catalogue and is the serving-scale fast path.
     """
     if not ks:
         raise EvaluationError("at least one k is required")
     if any(k < 1 for k in ks):
         raise EvaluationError(f"all k must be >= 1, got {ks}")
+    if rank_method not in RANK_METHODS:
+        raise EvaluationError(
+            f"rank_method must be one of {RANK_METHODS}, got {rank_method!r}"
+        )
     holdout_items = _select_holdout(split, holdout)
     user_indices = np.asarray(sorted(holdout_items), dtype=np.int64)
     if len(user_indices) == 0:
@@ -112,13 +126,26 @@ def evaluate_model(
     for start in range(0, len(user_indices), chunk_size):
         chunk = user_indices[start:start + chunk_size]
         scores = model.masked_scores(chunk)
-        # rank_of[j] = 1-based rank of item j in this user's full ranking.
+        held_lists = [holdout_items[int(user)] for user in chunk]
+        if rank_method == "count":
+            counts = np.asarray([len(held) for held in held_lists], dtype=np.int64)
+            item_ranks = _ranks_by_counting(scores, held_lists)
+            group_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            stop = start + len(chunk)
+            test_sizes[start:stop] = counts
+            first_ranks[start:stop] = np.minimum.reduceat(item_ranks, group_starts)
+            for k in ks:
+                hits[k][start:stop] = np.add.reduceat(
+                    (item_ranks <= k).astype(np.int64), group_starts
+                )
+            continue
+        # Reference path: rank_of[j] = 1-based rank of item j in this
+        # user's full ranking.
         order = np.argsort(-scores, axis=1, kind="stable")
         ranks = np.empty_like(order)
         row_index = np.arange(order.shape[0])[:, None]
         ranks[row_index, order] = np.arange(1, order.shape[1] + 1)
-        for offset, user_index in enumerate(chunk):
-            held_out = holdout_items[int(user_index)]
+        for offset, held_out in enumerate(held_lists):
             item_ranks = ranks[offset, held_out]
             position = start + offset
             test_sizes[position] = len(held_out)
@@ -145,6 +172,43 @@ def evaluate_model(
         per_user=per_user,
         recommend_seconds_per_user=latency,
     )
+
+
+def _ranks_by_counting(
+    scores: np.ndarray, held_lists: list[np.ndarray]
+) -> np.ndarray:
+    """1-based full-ranking ranks of each user's held-out items, without
+    computing any full argsort ranking.
+
+    The rank of a held-out item under a stable decreasing sort is
+    ``1 + |{i : s_i > s_col}| + |{i < col : s_i == s_col}|``: items with a
+    strictly greater score always precede it, and tied items precede it
+    exactly when their index is smaller (stable ties break by item index).
+    The strictly-greater count comes from one value sort per row plus two
+    binary searches per held-out item — an order of magnitude cheaper than
+    the stable argsort + rank scatter it replaces — and the positional tie
+    correction is only scanned for targets that actually have ties.
+
+    Returns the ranks flattened in ``held_lists`` order.
+    """
+    n_items = scores.shape[1]
+    sorted_scores = np.sort(scores, axis=1)
+    counts = [len(held) for held in held_lists]
+    ranks = np.empty(sum(counts), dtype=np.int64)
+    position = 0
+    for row, held in enumerate(held_lists):
+        stop = position + counts[row]
+        targets = scores[row, held]
+        row_sorted = sorted_scores[row]
+        right = np.searchsorted(row_sorted, targets, side="right")
+        ranks[position:stop] = 1 + (n_items - right)
+        left = np.searchsorted(row_sorted, targets, side="left")
+        for i in np.flatnonzero(right - left > 1):
+            ranks[position + i] += np.count_nonzero(
+                scores[row, :held[i]] == targets[i]
+            )
+        position = stop
+    return ranks
 
 
 def measure_recommendation_latency(

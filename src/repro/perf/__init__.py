@@ -1,0 +1,21 @@
+"""Performance measurement harness.
+
+:mod:`repro.perf.timer` provides the :class:`~repro.perf.timer.Timer`
+context manager and throughput helpers used by the benches;
+:mod:`repro.perf.fastpath` measures every fast path introduced by the
+vectorised-scoring work (masking, rank-only evaluation, blockwise /
+truncated similarity, cached serving) against its reference
+implementation and writes the ``BENCH_fastpath.json`` trajectory file.
+"""
+
+from repro.perf.timer import Timer, TimingResult, best_of, throughput
+from repro.perf.fastpath import FastpathBenchConfig, run_fastpath_bench
+
+__all__ = [
+    "Timer",
+    "TimingResult",
+    "best_of",
+    "throughput",
+    "FastpathBenchConfig",
+    "run_fastpath_bench",
+]

@@ -1,0 +1,312 @@
+"""Measure the vectorised scoring fast paths against their references.
+
+Four layers are benchmarked on a synthetic library-scale dataset, mirroring
+the serving pipeline end to end:
+
+- **masking** — the CSR-scatter seen-item mask vs the per-user loop;
+- **evaluation** — rank-only (counting) evaluation vs the full stable
+  argsort reference;
+- **similarity** — the blockwise / float32 cosine kernels and the
+  truncated top-N sparse representation's memory footprint vs the dense
+  float64 matrix;
+- **serving** — LRU-cached vs uncached request latency, plus the batched
+  ``recommend_many`` path.
+
+Scoring cost is held constant across compared paths by running a
+:class:`PrecomputedScores` model, so each measurement isolates the layer
+it names. Results are written to ``BENCH_fastpath.json`` so the perf
+trajectory stays visible across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.app.service import RecommendationRequest, RecommendationService
+from repro.core.base import Recommender
+from repro.datasets.merged import MergedDataset
+from repro.datasets.synthetic import generate_sources
+from repro.datasets.world import WorldConfig
+from repro.eval.evaluator import evaluate_model
+from repro.eval.split import split_readings
+from repro.perf.timer import Timer, best_of, throughput
+from repro.pipeline.merge import MergeConfig, build_merged_dataset
+from repro.text.embedder import HashedTfidfEmbedder
+from repro.text.similarity import (
+    cosine_similarity_matrix,
+    truncated_similarity_matrix,
+)
+from repro.text.summary import MetadataSummaryBuilder
+
+DEFAULT_OUTPUT = "BENCH_fastpath.json"
+
+
+class PrecomputedScores(Recommender):
+    """A recommender whose scores are a fixed matrix.
+
+    Scoring is one fancy-index copy, so any measurement over this model
+    times the surrounding machinery (masking, ranking, top-k, serving)
+    rather than a particular algorithm's linear algebra.
+    """
+
+    exclude_seen = True
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self.seed = seed
+        self._scores: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        return "Precomputed Scores"
+
+    def _fit(self, train, dataset) -> None:
+        rng = np.random.default_rng(self.seed)
+        self._scores = rng.normal(size=(train.n_users, train.n_items))
+
+    def score_users(self, user_indices: np.ndarray) -> np.ndarray:
+        assert self._scores is not None
+        return self._scores[np.asarray(user_indices, dtype=np.int64)]
+
+
+@dataclass(frozen=True)
+class FastpathBenchConfig:
+    """Shape and repetition knobs for the fast-path bench.
+
+    The defaults build a catalogue of a few thousand candidate books
+    (melting to ~1 700 after the merge activity floors) — small enough to
+    run in well under a minute, large enough that the vectorised paths'
+    asymptotics dominate the measurement.
+    """
+
+    n_books: int = 6000
+    n_authors: int = 1200
+    n_bct_users: int = 400
+    n_anobii_users: int = 2000
+    min_user_readings: int = 10
+    min_book_readings: int = 3
+    seed: int = 7
+    repeats: int = 5
+    top_n_neighbors: int = 50
+    block_size: int = 512
+    serve_users: int = 50
+    serve_requests: int = 300
+    k: int = 20
+
+
+def run_fastpath_bench(
+    config: FastpathBenchConfig | None = None,
+    output_path: str | Path | None = DEFAULT_OUTPUT,
+) -> dict[str, Any]:
+    """Run every fast-path measurement and (optionally) write the JSON."""
+    config = config or FastpathBenchConfig()
+    report: dict[str, Any] = {
+        "bench": "fastpath",
+        "config": asdict(config),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+    with Timer("dataset build") as build_timer:
+        world = WorldConfig(
+            n_books=config.n_books,
+            n_authors=config.n_authors,
+            n_bct_users=config.n_bct_users,
+            n_anobii_users=config.n_anobii_users,
+            seed=config.seed,
+        )
+        sources = generate_sources(world)
+        merged, _ = build_merged_dataset(
+            sources.bct,
+            sources.anobii,
+            MergeConfig(
+                min_user_readings=config.min_user_readings,
+                min_book_readings=config.min_book_readings,
+            ),
+        )
+        split = split_readings(merged)
+    report["dataset"] = {
+        "build_seconds": build_timer.seconds,
+        "n_users": split.train.n_users,
+        "n_items": split.train.n_items,
+        "n_test_users": len(split.test_items),
+        "n_interactions": split.train.n_interactions,
+    }
+
+    model = PrecomputedScores(seed=config.seed).fit(split.train, merged)
+    eval_users = np.asarray(sorted(split.test_items), dtype=np.int64)
+
+    report["masking"] = _bench_masking(model, eval_users, config)
+    report["evaluation"] = _bench_evaluation(model, split, config)
+    report["similarity"] = _bench_similarity(merged, split.train, config)
+    report["serving"] = _bench_serving(model, split.train, merged, config)
+
+    if output_path is not None:
+        path = Path(output_path)
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        report["output_path"] = str(path)
+    return report
+
+
+def _bench_masking(
+    model: Recommender, eval_users: np.ndarray, config: FastpathBenchConfig
+) -> dict[str, Any]:
+    """CSR-scatter masking vs the per-user loop, plus batch top-k."""
+    reference = best_of(
+        lambda: model.masked_scores_reference(eval_users), config.repeats
+    )
+    fast = best_of(lambda: model.masked_scores(eval_users), config.repeats)
+    batch_topk = best_of(
+        lambda: model.recommend_batch(eval_users, config.k), config.repeats
+    )
+    per_row_topk = best_of(
+        lambda: model.recommend_batch_reference(eval_users, config.k),
+        config.repeats,
+    )
+    return {
+        "n_users": int(len(eval_users)),
+        "reference_seconds": reference,
+        "fast_seconds": fast,
+        "speedup": reference / fast if fast else float("inf"),
+        "users_per_second": throughput(len(eval_users), fast),
+        "batch_topk_seconds": batch_topk,
+        "per_row_topk_seconds": per_row_topk,
+        "batch_topk_speedup": (
+            per_row_topk / batch_topk if batch_topk else float("inf")
+        ),
+    }
+
+
+def _bench_evaluation(
+    model: Recommender, split, config: FastpathBenchConfig
+) -> dict[str, Any]:
+    """Rank-only chunked evaluation vs the full-argsort baseline."""
+    count = best_of(
+        lambda: evaluate_model(model, split, ks=(config.k,), rank_method="count"),
+        config.repeats,
+    )
+    argsort = best_of(
+        lambda: evaluate_model(model, split, ks=(config.k,), rank_method="argsort"),
+        config.repeats,
+    )
+    n_users = len(split.test_items)
+    return {
+        "n_users": n_users,
+        "argsort_seconds": argsort,
+        "count_seconds": count,
+        "speedup": argsort / count if count else float("inf"),
+        "users_per_second": throughput(n_users, count),
+    }
+
+
+def _bench_similarity(
+    merged: MergedDataset, train, config: FastpathBenchConfig
+) -> dict[str, Any]:
+    """Blockwise / float32 / truncated similarity builds on real embeddings."""
+    builder = MetadataSummaryBuilder(("author", "genres"))
+    summaries_by_book = builder.build_all(merged)
+    summaries = [
+        summaries_by_book[int(train.items.id_of(i))]
+        for i in range(train.n_items)
+    ]
+    embedder = HashedTfidfEmbedder()
+    embedder.fit(summaries)
+    embeddings = embedder.encode(summaries)
+
+    dense_seconds = best_of(
+        lambda: cosine_similarity_matrix(embeddings), config.repeats
+    )
+    blockwise_seconds = best_of(
+        lambda: cosine_similarity_matrix(
+            embeddings, block_size=config.block_size
+        ),
+        config.repeats,
+    )
+    float32_seconds = best_of(
+        lambda: cosine_similarity_matrix(
+            embeddings, block_size=config.block_size, dtype=np.float32
+        ),
+        config.repeats,
+    )
+    truncated_seconds = best_of(
+        lambda: truncated_similarity_matrix(
+            embeddings, config.top_n_neighbors, block_size=config.block_size
+        ),
+        config.repeats,
+    )
+    dense = cosine_similarity_matrix(embeddings)
+    truncated = truncated_similarity_matrix(embeddings, config.top_n_neighbors)
+    sparse_nbytes = int(
+        truncated.data.nbytes
+        + truncated.indices.nbytes
+        + truncated.indptr.nbytes
+    )
+    return {
+        "n_items": int(embeddings.shape[0]),
+        "embed_dim": int(embeddings.shape[1]),
+        "dense_build_seconds": dense_seconds,
+        "blockwise_build_seconds": blockwise_seconds,
+        "blockwise_float32_build_seconds": float32_seconds,
+        "truncated_build_seconds": truncated_seconds,
+        "dense_nbytes": int(dense.nbytes),
+        "truncated_sparse_nbytes": sparse_nbytes,
+        "memory_ratio": (
+            dense.nbytes / sparse_nbytes if sparse_nbytes else float("inf")
+        ),
+        "top_n_neighbors": config.top_n_neighbors,
+    }
+
+
+def _bench_serving(
+    model: Recommender, train, merged: MergedDataset, config: FastpathBenchConfig
+) -> dict[str, Any]:
+    """Cached vs uncached request latency and the batch endpoint."""
+    known = [
+        str(train.users.id_of(int(index)))
+        for index in range(min(config.serve_users, train.n_users))
+    ]
+    requests = [
+        RecommendationRequest(user_id=known[i % len(known)], k=config.k)
+        for i in range(config.serve_requests)
+    ]
+
+    uncached_service = RecommendationService(model, train, merged, cache_size=0)
+    with Timer("uncached") as uncached_timer:
+        for request in requests:
+            uncached_service.recommend(request)
+    uncached = uncached_timer.seconds / len(requests)
+
+    cached_service = RecommendationService(model, train, merged)
+    for request in requests:  # warm the cache
+        cached_service.recommend(request)
+    with Timer("cached") as cached_timer:
+        for request in requests:
+            cached_service.recommend(request)
+    cached = cached_timer.seconds / len(requests)
+
+    batch_service = RecommendationService(model, train, merged, cache_size=0)
+    with Timer("batch") as batch_timer:
+        batch_service.recommend_many(requests)
+    batched = batch_timer.seconds / len(requests)
+
+    return {
+        "n_requests": len(requests),
+        "distinct_users": len(known),
+        "uncached_seconds_per_request": uncached,
+        "cached_seconds_per_request": cached,
+        "cache_speedup": uncached / cached if cached else float("inf"),
+        "batch_seconds_per_request": batched,
+        "batch_speedup": uncached / batched if batched else float("inf"),
+        "cache_hits": cached_service.stats.cache_hits,
+        "cache_misses": cached_service.stats.cache_misses,
+        "cache_hit_rate": cached_service.stats.cache_hit_rate,
+        "requests_per_second_cached": throughput(
+            len(requests), cached_timer.seconds
+        ),
+    }

@@ -1,0 +1,104 @@
+"""Wall-clock timing primitives for the perf benches.
+
+Everything here is deliberately dependency-free: a context manager around
+``time.perf_counter``, a best-of-N repeat helper (the standard defence
+against scheduler noise), and throughput arithmetic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Usage::
+
+        with Timer("masking") as timer:
+            model.masked_scores(users)
+        print(timer.seconds, timer.throughput(len(users)))
+
+    ``seconds`` reads the running elapsed time until the block exits, then
+    freezes at the block's duration.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._started: float | None = None
+        self._seconds: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._seconds = None
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started is not None
+        self._seconds = time.perf_counter() - self._started
+
+    @property
+    def seconds(self) -> float:
+        if self._seconds is not None:
+            return self._seconds
+        if self._started is None:
+            raise ConfigurationError(
+                f"Timer {self.name!r} has not been started"
+            )
+        return time.perf_counter() - self._started
+
+    def throughput(self, n_ops: int) -> float:
+        """Operations per second over the timed block."""
+        return throughput(n_ops, self.seconds)
+
+    def result(self, n_ops: int | None = None) -> "TimingResult":
+        return TimingResult(name=self.name, seconds=self.seconds, n_ops=n_ops)
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """One named measurement, optionally with an operation count."""
+
+    name: str
+    seconds: float
+    n_ops: int | None = None
+
+    @property
+    def ops_per_second(self) -> float | None:
+        if self.n_ops is None:
+            return None
+        return throughput(self.n_ops, self.seconds)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name, "seconds": self.seconds}
+        if self.n_ops is not None:
+            out["n_ops"] = self.n_ops
+            out["ops_per_second"] = self.ops_per_second
+        return out
+
+
+def throughput(n_ops: int, seconds: float) -> float:
+    """``n_ops / seconds``, tolerating a clock-resolution zero."""
+    if seconds <= 0.0:
+        return float("inf") if n_ops else 0.0
+    return n_ops / seconds
+
+
+def best_of(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Best (minimum) wall-clock seconds over ``repeats`` calls of ``fn``.
+
+    The minimum is the standard estimator for kernel cost: noise from the
+    scheduler and caches only ever adds time.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best

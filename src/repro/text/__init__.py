@@ -19,7 +19,10 @@ from repro.text.tokenize import TokenizerConfig, normalize_text, tokenize
 from repro.text.hashing import hash_feature, hashed_vector
 from repro.text.tfidf import TfidfModel
 from repro.text.embedder import HashedTfidfEmbedder, SentenceEmbedder
-from repro.text.similarity import cosine_similarity_matrix
+from repro.text.similarity import (
+    cosine_similarity_matrix,
+    truncated_similarity_matrix,
+)
 from repro.text.summary import (
     METADATA_FIELDS,
     MetadataSummaryBuilder,
@@ -36,6 +39,7 @@ __all__ = [
     "HashedTfidfEmbedder",
     "SentenceEmbedder",
     "cosine_similarity_matrix",
+    "truncated_similarity_matrix",
     "METADATA_FIELDS",
     "MetadataSummaryBuilder",
     "field_combinations",

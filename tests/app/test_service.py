@@ -107,3 +107,147 @@ class TestStats:
         stats = ServiceStats()
         assert stats.mean_seconds == 0.0
         assert stats.percentile(0.9) == 0.0
+
+    def test_latency_window_is_bounded(self):
+        from repro.app.service import ServiceStats
+
+        stats = ServiceStats(latency_window=5)
+        for i in range(8):
+            stats.record(float(i + 1))
+        assert stats.requests == 8
+        assert list(stats.latencies) == [4.0, 5.0, 6.0, 7.0, 8.0]
+        # The window bounds the percentile buffer, not the running mean.
+        assert stats.mean_seconds == pytest.approx(36.0 / 8)
+        assert stats.percentile(1.0) == pytest.approx(8.0)
+
+
+class TestCache:
+    def _service(self, tiny_bpr, tiny_split, tiny_merged, **kwargs):
+        return RecommendationService(
+            tiny_bpr, tiny_split.train, tiny_merged, **kwargs
+        )
+
+    def test_hit_and_miss_counts(self, tiny_bpr, tiny_split, tiny_merged, a_user):
+        service = self._service(tiny_bpr, tiny_split, tiny_merged)
+        request = RecommendationRequest(user_id=a_user, k=5)
+        first = service.recommend(request)
+        second = service.recommend(request)
+        assert first == second
+        assert service.stats.cache_misses == 1
+        assert service.stats.cache_hits == 1
+        assert service.stats.cache_hit_rate == pytest.approx(0.5)
+
+    def test_distinct_k_cached_separately(
+        self, tiny_bpr, tiny_split, tiny_merged, a_user
+    ):
+        service = self._service(tiny_bpr, tiny_split, tiny_merged)
+        service.recommend(RecommendationRequest(user_id=a_user, k=5))
+        service.recommend(RecommendationRequest(user_id=a_user, k=6))
+        assert service.stats.cache_misses == 2
+        assert service.cached_entries == 2
+
+    def test_lru_eviction(self, tiny_bpr, tiny_split, tiny_merged):
+        service = self._service(tiny_bpr, tiny_split, tiny_merged, cache_size=2)
+        users = tiny_merged.bct_user_ids[:3]
+        for user in users:
+            service.recommend(RecommendationRequest(user_id=user, k=5))
+        assert service.cached_entries == 2
+        # The oldest user was evicted: serving them again is a miss.
+        service.recommend(RecommendationRequest(user_id=users[0], k=5))
+        assert service.stats.cache_hits == 0
+        assert service.stats.cache_misses == 4
+
+    def test_cache_disabled(self, tiny_bpr, tiny_split, tiny_merged, a_user):
+        service = self._service(
+            tiny_bpr, tiny_split, tiny_merged, cache_size=0
+        )
+        request = RecommendationRequest(user_id=a_user, k=5)
+        service.recommend(request)
+        service.recommend(request)
+        assert service.cached_entries == 0
+        assert service.stats.cache_hits == 0
+
+    def test_negative_cache_size_rejected(self, tiny_bpr, tiny_split, tiny_merged):
+        with pytest.raises(ConfigurationError, match="cache_size"):
+            self._service(tiny_bpr, tiny_split, tiny_merged, cache_size=-1)
+
+    def test_invalidate_cache(self, tiny_bpr, tiny_split, tiny_merged, a_user):
+        service = self._service(tiny_bpr, tiny_split, tiny_merged)
+        request = RecommendationRequest(user_id=a_user, k=5)
+        service.recommend(request)
+        service.invalidate_cache()
+        assert service.cached_entries == 0
+        service.recommend(request)
+        assert service.stats.cache_hits == 0
+        assert service.stats.cache_misses == 2
+
+    def test_refresh_model_invalidates(
+        self, tiny_bpr, tiny_split, tiny_merged, a_user
+    ):
+        service = self._service(tiny_bpr, tiny_split, tiny_merged)
+        request = RecommendationRequest(user_id=a_user, k=5)
+        service.recommend(request)
+        fallback = MostReadItems().fit(tiny_split.train, tiny_merged)
+        service.refresh_model(fallback)
+        assert service.cached_entries == 0
+        refreshed = service.recommend(request)
+        assert service.model is fallback
+        assert [b.rank for b in refreshed] == [1, 2, 3, 4, 5]
+
+    def test_refresh_model_requires_fitted(
+        self, tiny_bpr, tiny_split, tiny_merged
+    ):
+        service = self._service(tiny_bpr, tiny_split, tiny_merged)
+        with pytest.raises(ConfigurationError, match="fitted"):
+            service.refresh_model(MostReadItems())
+
+
+class TestRecommendMany:
+    def test_matches_single_requests(
+        self, tiny_bpr, tiny_split, tiny_merged
+    ):
+        service = RecommendationService(tiny_bpr, tiny_split.train, tiny_merged)
+        requests = [
+            RecommendationRequest(user_id=user, k=5)
+            for user in tiny_merged.bct_user_ids[:4]
+        ]
+        batched = service.recommend_many(requests)
+        singles = [service.recommend(request) for request in requests]
+        assert batched == singles
+
+    def test_mixed_ks_and_cache_reuse(
+        self, tiny_bpr, tiny_split, tiny_merged, a_user
+    ):
+        service = RecommendationService(tiny_bpr, tiny_split.train, tiny_merged)
+        service.recommend(RecommendationRequest(user_id=a_user, k=5))
+        other = tiny_merged.bct_user_ids[1]
+        results = service.recommend_many(
+            [
+                RecommendationRequest(user_id=a_user, k=5),
+                RecommendationRequest(user_id=other, k=7),
+            ]
+        )
+        assert len(results[0]) == 5 and len(results[1]) == 7
+        assert service.stats.cache_hits == 1
+
+    def test_unknown_user_rejected(self, service):
+        with pytest.raises(UnknownUserError):
+            service.recommend_many(
+                [RecommendationRequest(user_id="stranger", k=5)]
+            )
+
+    def test_unknown_user_uses_fallback(self, tiny_bpr, tiny_split, tiny_merged):
+        fallback = MostReadItems().fit(tiny_split.train, tiny_merged)
+        service = RecommendationService(
+            tiny_bpr, tiny_split.train, tiny_merged,
+            cold_start_fallback=fallback,
+        )
+        [books] = service.recommend_many(
+            [RecommendationRequest(user_id="newcomer", k=5)]
+        )
+        assert books == service.recommend(
+            RecommendationRequest(user_id="newcomer", k=5)
+        )
+
+    def test_empty_batch(self, service):
+        assert service.recommend_many([]) == []

@@ -37,6 +37,34 @@ class TestIndexer:
         for i in range(len(indexer)):
             assert indexer.index_of(indexer.id_of(i)) == i
 
+    def test_indices_of_empty(self):
+        result = Indexer(["a"]).indices_of([])
+        assert result.dtype == np.int64 and len(result) == 0
+
+    def test_indices_of_unknown_raises(self):
+        indexer = Indexer([10, 20, 30])
+        # Between two known ids, and beyond the last one (clamp path).
+        with pytest.raises(KeyError):
+            indexer.indices_of([10, 15])
+        with pytest.raises(KeyError):
+            indexer.indices_of([99])
+
+    def test_indices_of_unsortable_ids_fall_back(self):
+        # Tuple ids become a 2-D numpy array, so the searchsorted path is
+        # unusable; the dict fallback must still resolve them.
+        indexer = Indexer([("a", 1), ("b", 2)])
+        assert indexer.indices_of([("b", 2), ("a", 1)]).tolist() == [1, 0]
+        with pytest.raises(KeyError):
+            indexer.indices_of([("c", 3)])
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.lists(st.text(max_size=6), min_size=1, max_size=40))
+    def test_property_indices_of_matches_index_of(self, values):
+        indexer = Indexer(values)
+        queries = list(indexer.ids) + list(reversed(indexer.ids))
+        expected = [indexer.index_of(value) for value in queries]
+        assert indexer.indices_of(queries).tolist() == expected
+
 
 class TestInteractionMatrix:
     def test_from_pairs_counts_repeats(self):

@@ -9,6 +9,7 @@ from repro.errors import ConfigurationError
 from repro.text.similarity import (
     average_similarity_to_history,
     cosine_similarity_matrix,
+    truncated_similarity_matrix,
 )
 
 
@@ -60,6 +61,86 @@ class TestCosineMatrix:
         assert (sim <= 1.0).all()
         assert (sim >= -1.0).all()
         assert np.allclose(sim, sim.T)
+
+
+class TestBlockwiseCosine:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 12), st.integers(1, 5)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        ),
+        st.integers(1, 15),
+    )
+    def test_property_blockwise_matches_whole(self, matrix, block_size):
+        whole = cosine_similarity_matrix(matrix)
+        blocked = cosine_similarity_matrix(matrix, block_size=block_size)
+        assert np.allclose(whole, blocked)
+
+    def test_float32_output(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(6, 4))
+        sim = cosine_similarity_matrix(matrix, dtype=np.float32)
+        assert sim.dtype == np.float32
+        assert np.allclose(sim, cosine_similarity_matrix(matrix), atol=1e-6)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ConfigurationError, match="block_size"):
+            cosine_similarity_matrix(np.ones((2, 2)), block_size=0)
+
+    def test_invalid_dtype(self):
+        with pytest.raises(ConfigurationError, match="dtype"):
+            cosine_similarity_matrix(np.ones((2, 2)), dtype=np.int32)
+
+
+class TestTruncatedSimilarity:
+    def _embeddings(self, n=20, dim=6, seed=3):
+        return np.random.default_rng(seed).normal(size=(n, dim))
+
+    def test_keeps_top_n_per_row(self):
+        embeddings = self._embeddings()
+        top_n = 4
+        truncated = truncated_similarity_matrix(embeddings, top_n)
+        dense = cosine_similarity_matrix(embeddings)
+        np.fill_diagonal(dense, 0.0)
+        row_counts = np.diff(truncated.indptr)
+        assert (row_counts <= top_n).all()
+        for row in range(len(embeddings)):
+            kept = truncated.getrow(row).toarray().ravel()
+            expected_floor = np.sort(dense[row])[-top_n]
+            # Every kept value is among the row's top-N dense values.
+            assert (kept[kept != 0] >= expected_floor - 1e-12).all()
+            assert np.allclose(kept[kept != 0], dense[row][kept != 0])
+
+    def test_diagonal_removed_by_default(self):
+        truncated = truncated_similarity_matrix(self._embeddings(), 5)
+        assert truncated.diagonal().max() == pytest.approx(0.0)
+
+    def test_diagonal_kept_when_requested(self):
+        truncated = truncated_similarity_matrix(
+            self._embeddings(), 5, zero_diagonal=False
+        )
+        assert truncated.diagonal().max() == pytest.approx(1.0)
+
+    def test_blockwise_matches_whole(self):
+        embeddings = self._embeddings(n=23)
+        whole = truncated_similarity_matrix(embeddings, 6)
+        blocked = truncated_similarity_matrix(embeddings, 6, block_size=5)
+        assert np.allclose(whole.toarray(), blocked.toarray())
+
+    def test_top_n_larger_than_catalogue(self):
+        # Non-negative embeddings keep every off-diagonal similarity above
+        # the zeroed diagonal, so nothing is truncated.
+        embeddings = np.abs(self._embeddings(n=4))
+        truncated = truncated_similarity_matrix(embeddings, 100)
+        dense = cosine_similarity_matrix(embeddings)
+        np.fill_diagonal(dense, 0.0)
+        assert np.allclose(truncated.toarray(), dense)
+
+    def test_invalid_top_n(self):
+        with pytest.raises(ConfigurationError, match="top_n"):
+            truncated_similarity_matrix(np.ones((2, 2)), 0)
 
 
 class TestAverageSimilarity:
