@@ -8,13 +8,21 @@ saves and loads fitted models and merged datasets so the service can start
 without retraining.
 """
 
-from repro.app.service import RecommendationRequest, RecommendationService, ServedBook
+from repro.app.service import (
+    RecommendationRequest,
+    RecommendationService,
+    ServedBook,
+    ServedResponse,
+    ServiceStats,
+)
 from repro.app.persistence import load_bpr, load_dataset, save_bpr, save_dataset
 
 __all__ = [
     "RecommendationRequest",
     "RecommendationService",
     "ServedBook",
+    "ServedResponse",
+    "ServiceStats",
     "load_bpr",
     "load_dataset",
     "save_bpr",

@@ -13,14 +13,24 @@ invalidates the cache explicitly), a :meth:`~RecommendationService.recommend_man
 batch endpoint that funnels cache misses through the vectorised
 :meth:`~repro.core.base.Recommender.recommend_batch` scoring path, and a
 bounded latency window so long-lived services don't grow without limit.
+
+Resilience: the primary model is guarded by a
+:class:`~repro.resilience.breaker.CircuitBreaker` and backed by a
+degradation chain — primary model → fitted
+:class:`~repro.core.most_read.MostReadItems` → a static most-popular
+list derived from the training counts. A scoring failure (or an open
+breaker, or an expired per-request deadline) degrades the response
+instead of failing the request; every response carries a ``served_by``
+tag, degradations are counted per source in :class:`ServiceStats`, and
+:meth:`RecommendationService.health` reports the whole picture.
 """
 
 from __future__ import annotations
 
 import time
-from collections import OrderedDict, deque
-from dataclasses import dataclass, field
-from typing import Sequence
+from collections import Counter, OrderedDict, deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -29,6 +39,8 @@ from repro.core.interactions import InteractionMatrix
 from repro.core.most_read import MostReadItems
 from repro.datasets.merged import MergedDataset
 from repro.errors import ConfigurationError, UnknownUserError
+from repro.resilience.breaker import STATE_CLOSED, CircuitBreaker
+from repro.resilience.retry import BackoffPolicy, Deadline, retry_call
 
 #: The paper's deployed list length.
 DEFAULT_K = 20
@@ -39,17 +51,33 @@ DEFAULT_CACHE_SIZE = 1024
 #: Per-request latencies kept for percentile reporting by default.
 DEFAULT_LATENCY_WINDOW = 10_000
 
+#: ``served_by`` tags, in degradation-chain order.
+SERVED_BY_PRIMARY = "primary"
+SERVED_BY_MOST_READ = "most-read"
+SERVED_BY_STATIC = "static"
+SERVED_BY_NONE = "none"
+
 
 @dataclass(frozen=True)
 class RecommendationRequest:
-    """One GUI request."""
+    """One GUI request.
+
+    ``timeout_seconds`` is an optional per-request deadline budget: when
+    it runs out before the primary model was invoked, the service answers
+    from the degradation chain instead of blocking the GUI.
+    """
 
     user_id: str
     k: int = DEFAULT_K
+    timeout_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
 
 
 @dataclass(frozen=True)
@@ -62,13 +90,36 @@ class ServedBook:
     rank: int
 
 
+@dataclass(frozen=True)
+class ServedResponse:
+    """One answered request, with provenance.
+
+    ``served_by`` names the chain link that produced the list
+    (:data:`SERVED_BY_PRIMARY`, :data:`SERVED_BY_MOST_READ`,
+    :data:`SERVED_BY_STATIC`, or :data:`SERVED_BY_NONE` when nothing
+    could serve it). ``degraded`` is True when a *failure* forced a
+    fallback — a cold-start user intentionally served by the popularity
+    list is not degraded. ``error`` carries the triggering failure, if
+    any, and ``from_cache`` marks LRU hits.
+    """
+
+    books: tuple[ServedBook, ...]
+    served_by: str
+    degraded: bool = False
+    error: str | None = None
+    from_cache: bool = False
+
+
 @dataclass
 class ServiceStats:
-    """Aggregate latency and cache accounting (Table 2 semantics).
+    """Aggregate latency, cache, and degradation accounting.
 
     ``latencies`` is a bounded deque (``latency_window`` most recent
     requests) so a long-lived service's memory stays constant;
-    :meth:`percentile` reports over that window.
+    :meth:`percentile` reports over that window. ``degradations`` counts
+    fallback-served requests per ``served_by`` source; ``errors`` counts
+    underlying failures (which can exceed degradations when retries or
+    multiple chain links fail for one request).
     """
 
     requests: int = 0
@@ -76,6 +127,9 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     latency_window: int = DEFAULT_LATENCY_WINDOW
+    errors: int = 0
+    last_error: str | None = None
+    degradations: Counter = field(default_factory=Counter)
     latencies: deque = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -94,6 +148,10 @@ class ServiceStats:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def degraded_requests(self) -> int:
+        return int(sum(self.degradations.values()))
+
     def percentile(self, q: float) -> float:
         if not self.latencies:
             return 0.0
@@ -107,24 +165,47 @@ class ServiceStats:
         for _ in range(requests):
             self.latencies.append(per_request)
 
+    def note_error(self, error: BaseException | str) -> None:
+        self.errors += 1
+        if isinstance(error, BaseException):
+            error = f"{type(error).__name__}: {error}"
+        self.last_error = error
+
+    def note_degraded(self, served_by: str) -> None:
+        self.degradations[served_by] += 1
+
 
 class RecommendationService:
     """Serve top-k recommendations for library users.
 
     Args:
-        model: a fitted recommender.
+        model: a fitted recommender (the *primary* chain link).
         train: the interaction matrix the model was fitted on (provides the
-            user indexing).
+            user indexing and the static most-popular fallback list).
         dataset: the merged dataset (provides titles/authors for cards).
         cold_start_fallback: optional fitted
             :class:`~repro.core.most_read.MostReadItems`; when given,
-            unknown users receive the global top-k instead of an error.
-            (The paper leaves personalised cold-start to future work; a
-            popularity list is the standard deployed stopgap.)
+            unknown users receive the global top-k instead of an error,
+            and it is the second link of the degradation chain for
+            primary-model failures.
         cache_size: served lists kept in the LRU top-k cache; ``0``
-            disables caching.
+            disables caching. Only healthy (non-degraded) responses are
+            cached, so a recovered primary is not shadowed by cached
+            fallback lists.
         latency_window: per-request latencies retained for percentile
             reporting.
+        breaker: circuit breaker guarding primary scoring (a default
+            breaker is built when omitted).
+        retry_policy: optional :class:`~repro.resilience.retry.BackoffPolicy`;
+            when set, primary scoring failures are retried per the policy
+            before degrading.
+        degrade_unknown_users: when True, an unknown user without a
+            ``cold_start_fallback`` gets the static most-popular list (a
+            degraded response) instead of :class:`UnknownUserError`.
+        seed: seed for the retry jitter stream (``repro.rng`` semantics).
+        clock: injectable monotonic clock for deadlines and staleness.
+        retry_sleep: injectable sleep for retry backoff (tests pass a
+            no-op or recorder).
     """
 
     def __init__(
@@ -135,6 +216,12 @@ class RecommendationService:
         cold_start_fallback: "MostReadItems | None" = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         latency_window: int = DEFAULT_LATENCY_WINDOW,
+        breaker: CircuitBreaker | None = None,
+        retry_policy: BackoffPolicy | None = None,
+        degrade_unknown_users: bool = False,
+        seed: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        retry_sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if not model.is_fitted:
             raise ConfigurationError(
@@ -153,10 +240,19 @@ class RecommendationService:
         self.dataset = dataset
         self.cold_start_fallback = cold_start_fallback
         self.cache_size = cache_size
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.retry_policy = retry_policy
+        self.degrade_unknown_users = degrade_unknown_users
+        self.seed = seed
         self.stats = ServiceStats(latency_window=latency_window)
-        self._cache: OrderedDict[tuple[str, int], tuple[ServedBook, ...]] = (
-            OrderedDict()
-        )
+        self._clock = clock
+        self._retry_sleep = retry_sleep
+        self._model_loaded_at = clock()
+        self._cache: OrderedDict[tuple[str, int], ServedResponse] = OrderedDict()
+        # The last chain link: a static popularity order over the training
+        # counts, available even when every model object misbehaves.
+        counts = train.item_counts().astype(np.float64)
+        self._static_order = np.argsort(-counts, kind="stable")
         self._cards: dict[int, tuple[str, str]] = {}
         books = dataset.books
         for book_id, title, author in zip(
@@ -188,7 +284,8 @@ class RecommendationService:
         """Swap in a newly fitted model and invalidate the served cache.
 
         Cached lists are only valid for the model that produced them, so
-        any refresh clears the cache explicitly.
+        any refresh clears the cache explicitly; the breaker is reset
+        because its failure history belongs to the previous model.
         """
         if not model.is_fitted:
             raise ConfigurationError(
@@ -201,11 +298,15 @@ class RecommendationService:
         self.model = model
         if train is not None:
             self.train = train
+            counts = train.item_counts().astype(np.float64)
+            self._static_order = np.argsort(-counts, kind="stable")
         if cold_start_fallback is not None:
             self.cold_start_fallback = cold_start_fallback
+        self.breaker.reset()
+        self._model_loaded_at = self._clock()
         self.invalidate_cache()
 
-    def _cache_get(self, key: tuple[str, int]) -> tuple[ServedBook, ...] | None:
+    def _cache_get(self, key: tuple[str, int]) -> ServedResponse | None:
         if not self.cache_size:
             return None
         cached = self._cache.get(key)
@@ -213,10 +314,10 @@ class RecommendationService:
             self._cache.move_to_end(key)
         return cached
 
-    def _cache_put(self, key: tuple[str, int], books: tuple[ServedBook, ...]) -> None:
-        if not self.cache_size:
+    def _cache_put(self, key: tuple[str, int], response: ServedResponse) -> None:
+        if not self.cache_size or response.degraded or response.error:
             return
-        self._cache[key] = books
+        self._cache[key] = response
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
@@ -226,11 +327,20 @@ class RecommendationService:
     # ------------------------------------------------------------------
 
     def recommend(self, request: RecommendationRequest) -> list[ServedBook]:
-        """Handle one request.
+        """Handle one request; the books of :meth:`recommend_response`.
 
         Unknown users raise :class:`UnknownUserError` unless a cold-start
-        fallback was configured, in which case they get the global most-read
-        list. Served lists are answered from the LRU cache when possible.
+        fallback was configured (or ``degrade_unknown_users`` is set), in
+        which case they get a popularity list.
+        """
+        return list(self.recommend_response(request).books)
+
+    def recommend_response(self, request: RecommendationRequest) -> ServedResponse:
+        """Handle one request, reporting provenance and degradation.
+
+        Served lists are answered from the LRU cache when possible; a
+        primary-model failure degrades through the fallback chain instead
+        of raising.
         """
         started = time.perf_counter()
         key = (request.user_id, request.k)
@@ -238,53 +348,115 @@ class RecommendationService:
         if cached is not None:
             self.stats.cache_hits += 1
             self.stats.record(time.perf_counter() - started)
-            return list(cached)
+            return replace(cached, from_cache=True)
         self.stats.cache_misses += 1
-        served = tuple(self._serve_books(self._score_one(request), request.k))
-        self._cache_put(key, served)
+        try:
+            response = self._resolve(request)
+        except UnknownUserError:
+            self.stats.record(time.perf_counter() - started)
+            raise
+        self._account(response)
+        self._cache_put(key, response)
         self.stats.record(time.perf_counter() - started)
-        return list(served)
+        return response
 
     def recommend_many(
         self, requests: Sequence[RecommendationRequest]
     ) -> list[list[ServedBook]]:
         """Handle a batch of requests in one scoring pass per distinct k.
 
+        Every request resolves: a request that cannot be served (unknown
+        user, no fallback) comes back as an empty list with the error
+        recorded on its :class:`ServedResponse` (see
+        :meth:`recommend_many_responses`) — it never aborts the batch.
+        """
+        return [
+            list(response.books)
+            for response in self.recommend_many_responses(requests)
+        ]
+
+    def recommend_many_responses(
+        self, requests: Sequence[RecommendationRequest]
+    ) -> list[ServedResponse]:
+        """Batch variant of :meth:`recommend_response`; never raises.
+
         Cache hits are answered directly; the remaining known users funnel
-        through :meth:`~repro.core.base.Recommender.recommend_batch`, which
-        scores and top-k-cuts the whole group with vectorised kernels.
+        through :meth:`~repro.core.base.Recommender.recommend_batch`, one
+        vectorised scoring call per distinct k (counted as one breaker
+        outcome). A failed batch call degrades its whole group through the
+        fallback chain; per-request failures are returned as error-marked
+        responses, so one bad request cannot poison the rest of the batch.
         """
         started = time.perf_counter()
-        results: list[list[ServedBook] | None] = [None] * len(requests)
+        results: list[ServedResponse | None] = [None] * len(requests)
         pending: dict[int, list[tuple[int, int]]] = {}
         for position, request in enumerate(requests):
             key = (request.user_id, request.k)
             cached = self._cache_get(key)
             if cached is not None:
                 self.stats.cache_hits += 1
-                results[position] = list(cached)
+                results[position] = replace(cached, from_cache=True)
                 continue
             self.stats.cache_misses += 1
-            if self.known_user(request.user_id):
+            if self.known_user(request.user_id) and self.breaker.allow():
                 user_index = int(self.train.users.index_of(request.user_id))
                 pending.setdefault(request.k, []).append((position, user_index))
-            elif self.cold_start_fallback is not None:
-                items = self.cold_start_fallback.top_items(request.k)
-                served = tuple(self._serve_books(items, request.k))
-                self._cache_put(key, served)
-                results[position] = list(served)
-            else:
-                raise UnknownUserError(request.user_id)
+                continue
+            # Unknown users, and known users behind an open breaker.
+            try:
+                response = self._resolve(request)
+            except UnknownUserError as exc:
+                self.stats.note_error(exc)
+                response = ServedResponse(
+                    books=(),
+                    served_by=SERVED_BY_NONE,
+                    degraded=True,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                self.stats.note_degraded(SERVED_BY_NONE)
+                results[position] = response
+                continue
+            self._account(response)
+            self._cache_put(key, response)
+            results[position] = response
         for k, entries in pending.items():
             indices = np.asarray([index for _, index in entries], dtype=np.int64)
-            batches = self.model.recommend_batch(indices, k)
+            try:
+                batches = self._primary_batch(indices, k)
+            except Exception as exc:  # noqa: BLE001 — degrade, never fail
+                self.breaker.record_failure()
+                self.stats.note_error(exc)
+                error = f"{type(exc).__name__}: {exc}"
+                for position, user_index in entries:
+                    items, source = self._fallback_items(user_index, k)
+                    response = ServedResponse(
+                        books=tuple(self._serve_books(items, k)),
+                        served_by=source,
+                        degraded=True,
+                        error=error,
+                    )
+                    self._account(response)
+                    results[position] = response
+                continue
+            self.breaker.record_success()
             for (position, _), items in zip(entries, batches):
-                served = tuple(self._serve_books(items, k))
-                self._cache_put((requests[position].user_id, k), served)
-                results[position] = list(served)
+                response = ServedResponse(
+                    books=tuple(self._serve_books(items, k)),
+                    served_by=SERVED_BY_PRIMARY,
+                )
+                self._cache_put((requests[position].user_id, k), response)
+                results[position] = response
         if requests:
             self.stats.record(time.perf_counter() - started, len(requests))
-        return [result if result is not None else [] for result in results]
+        return [
+            result
+            if result is not None
+            else ServedResponse(
+                books=(), served_by=SERVED_BY_NONE, degraded=True,
+                error="request was not resolved",
+            )
+            for result in results
+        ]
 
     def history(self, user_id: str) -> list[ServedBook]:
         """The user's training history as cards (for the GUI's shelf view)."""
@@ -304,16 +476,174 @@ class RecommendationService:
         return cards
 
     # ------------------------------------------------------------------
-    # helpers
+    # health
     # ------------------------------------------------------------------
 
-    def _score_one(self, request: RecommendationRequest) -> np.ndarray:
+    def health(self) -> dict:
+        """A service health report (breaker, cache, staleness, errors)."""
+        stats = self.stats
+        breaker = self.breaker.snapshot()
+        return {
+            "status": "ok" if breaker["state"] == STATE_CLOSED else "degraded",
+            "breaker": breaker,
+            "cache": {
+                "entries": self.cached_entries,
+                "capacity": self.cache_size,
+                "hit_rate": round(stats.cache_hit_rate, 4),
+            },
+            "model": {
+                "name": self.model.name,
+                "staleness_seconds": round(
+                    self._clock() - self._model_loaded_at, 3
+                ),
+            },
+            "requests": stats.requests,
+            "degraded_requests": stats.degraded_requests,
+            "degradations": dict(stats.degradations),
+            "errors": stats.errors,
+            "last_error": stats.last_error,
+        }
+
+    # ------------------------------------------------------------------
+    # resolution: primary -> most-read -> static
+    # ------------------------------------------------------------------
+
+    def _resolve(self, request: RecommendationRequest) -> ServedResponse:
+        """Resolve one cache-missed request through the chain.
+
+        Raises :class:`UnknownUserError` only for an unknown user with no
+        fallback link available and ``degrade_unknown_users`` unset.
+        """
+        k = request.k
+        deadline = (
+            Deadline.start(request.timeout_seconds, self._clock)
+            if request.timeout_seconds is not None
+            else None
+        )
         if self.known_user(request.user_id):
-            user_index = self.train.users.index_of(request.user_id)
-            return self.model.recommend(int(user_index), request.k)
+            user_index = int(self.train.users.index_of(request.user_id))
+            if deadline is not None and deadline.expired:
+                error = "deadline expired before primary scoring"
+            elif self.breaker.allow():
+                try:
+                    items = self._primary_one(user_index, k, deadline)
+                    self.breaker.record_success()
+                    return ServedResponse(
+                        books=tuple(self._serve_books(items, k)),
+                        served_by=SERVED_BY_PRIMARY,
+                    )
+                except Exception as exc:  # noqa: BLE001 — degrade, never fail
+                    self.breaker.record_failure()
+                    self.stats.note_error(exc)
+                    error = f"{type(exc).__name__}: {exc}"
+            else:
+                error = "circuit breaker open"
+            items, source = self._fallback_items(user_index, k)
+            return ServedResponse(
+                books=tuple(self._serve_books(items, k)),
+                served_by=source,
+                degraded=True,
+                error=error,
+            )
+        # Unknown user: cold-start link, then (optionally) static.
         if self.cold_start_fallback is not None:
-            return self.cold_start_fallback.top_items(request.k)
+            try:
+                items = self.cold_start_fallback.top_items(k)
+                return ServedResponse(
+                    books=tuple(self._serve_books(items, k)),
+                    served_by=SERVED_BY_MOST_READ,
+                )
+            except Exception as exc:  # noqa: BLE001
+                self.stats.note_error(exc)
+                items, source = self._static_items(None, k)
+                return ServedResponse(
+                    books=tuple(self._serve_books(items, k)),
+                    served_by=source,
+                    degraded=True,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+        if self.degrade_unknown_users:
+            items, source = self._static_items(None, k)
+            return ServedResponse(
+                books=tuple(self._serve_books(items, k)),
+                served_by=source,
+                degraded=True,
+                error=f"unknown user: {request.user_id!r}",
+            )
         raise UnknownUserError(request.user_id)
+
+    def _primary_one(
+        self, user_index: int, k: int, deadline: Deadline | None
+    ) -> np.ndarray:
+        def call() -> np.ndarray:
+            return self.model.recommend(user_index, k)
+
+        if self.retry_policy is None:
+            return call()
+        return retry_call(
+            call,
+            policy=self.retry_policy,
+            seed=self.seed,
+            scope="service.primary",
+            sleep=self._retry_sleep,
+            deadline=deadline,
+        )
+
+    def _primary_batch(self, indices: np.ndarray, k: int) -> list[np.ndarray]:
+        def call() -> list[np.ndarray]:
+            return self.model.recommend_batch(indices, k)
+
+        if self.retry_policy is None:
+            return call()
+        return retry_call(
+            call,
+            policy=self.retry_policy,
+            seed=self.seed,
+            scope="service.primary-batch",
+            sleep=self._retry_sleep,
+        )
+
+    def _fallback_items(
+        self, user_index: int | None, k: int
+    ) -> tuple[np.ndarray, str]:
+        """The degradation chain below the primary model; never raises.
+
+        Known users get their already-read books filtered out of the
+        popularity list (the service's lists must stay unread even when
+        degraded); unknown users have no history to filter.
+        """
+        if self.cold_start_fallback is not None:
+            try:
+                seen = self._seen_items(user_index)
+                items = self.cold_start_fallback.top_items(k + len(seen))
+                if len(seen):
+                    items = items[~np.isin(items, seen)]
+                return items[:k], SERVED_BY_MOST_READ
+            except Exception as exc:  # noqa: BLE001 — fall further
+                self.stats.note_error(exc)
+        return self._static_items(user_index, k)
+
+    def _static_items(
+        self, user_index: int | None, k: int
+    ) -> tuple[np.ndarray, str]:
+        """The chain's last link: a precomputed popularity order (pure
+        numpy over an array captured at construction, so it cannot fail)."""
+        seen = self._seen_items(user_index)
+        items = self._static_order
+        if len(seen):
+            items = items[~np.isin(items, seen)]
+        return items[:k], SERVED_BY_STATIC
+
+    def _seen_items(self, user_index: int | None) -> np.ndarray:
+        if user_index is None:
+            return np.asarray([], dtype=np.int64)
+        return np.asarray(self.train.user_items(user_index), dtype=np.int64)
+
+    def _account(self, response: ServedResponse) -> None:
+        if response.degraded:
+            self.stats.note_degraded(response.served_by)
+            if response.error and self.stats.last_error is None:
+                self.stats.last_error = response.error
 
     def _serve_books(self, items: np.ndarray, k: int) -> list[ServedBook]:
         served = []

@@ -13,6 +13,8 @@ Commands:
 - ``bench`` — run the fast-path perf bench (masking, rank-only
   evaluation, similarity build, cached serving) and write
   ``BENCH_fastpath.json``.
+- ``health <path>`` — verify the checksum manifests of saved artefacts
+  (datasets and models) and print a health report; exits 1 on corruption.
 """
 
 from __future__ import annotations
@@ -74,11 +76,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="small dataset for smoke runs (not representative)",
     )
+
+    health = sub.add_parser(
+        "health",
+        help="verify artefact checksums and print a health report",
+    )
+    health.add_argument(
+        "target", help="artefact to check: a dataset/model directory or file"
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "health":
+        return _health(args.target)
     config = config_for_scale(args.scale, seed=args.seed)
     context = ExperimentContext(config)
     if args.command == "experiment":
@@ -152,6 +164,52 @@ def _serve_demo(context: ExperimentContext) -> None:
         f"served {service.stats.requests} requests, "
         f"mean latency {service.stats.mean_seconds * 1000:.1f} ms"
     )
+
+
+def _health(target: str) -> int:
+    """Verify artefact manifests under ``target``; 0 = healthy, 1 = not."""
+    from pathlib import Path
+
+    from repro.errors import PersistenceError
+    from repro.resilience.artefacts import MANIFEST_NAME, verify_manifest
+
+    root = Path(target)
+    if not root.exists():
+        print(f"health: {root} does not exist")
+        return 1
+    checks: list[tuple[str, Path]] = []
+    if root.is_file():
+        checks.append((root.name, root))
+    else:
+        if (root / MANIFEST_NAME).exists():
+            checks.append((f"{root.name}/", root))
+        for manifest in sorted(root.glob("*.manifest.json")):
+            artefact = manifest.with_name(manifest.name[: -len(".manifest.json")])
+            checks.append((artefact.name, artefact))
+        for sub in sorted(p for p in root.iterdir() if p.is_dir()):
+            if (sub / MANIFEST_NAME).exists():
+                checks.append((f"{sub.name}/", sub))
+    print(f"artefact health report for {root}")
+    if not checks:
+        print("  no manifested artefacts found")
+        print("status: unknown")
+        return 1
+    failures = 0
+    for label, artefact in checks:
+        try:
+            manifest = verify_manifest(artefact)
+        except PersistenceError as exc:
+            failures += 1
+            print(f"  {label:<24} FAIL  {type(exc).__name__}: {exc}")
+        else:
+            kind = manifest.get("kind", "artefact")
+            n_files = len(manifest.get("files", {}))
+            print(f"  {label:<24} ok    {kind}, {n_files} file(s) verified")
+    if failures:
+        print(f"status: corrupt ({failures} of {len(checks)} artefacts failed)")
+        return 1
+    print(f"status: ok ({len(checks)} artefact(s) verified)")
+    return 0
 
 
 def _bench(args: argparse.Namespace) -> None:

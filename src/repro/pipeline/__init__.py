@@ -15,14 +15,25 @@ Order of operations, as in the paper:
 4. :mod:`repro.pipeline.stats` — dataset characterisation used by Figs 1-2.
 """
 
-from repro.pipeline.cleaning import clean_anobii, clean_bct
+from repro.pipeline.cleaning import (
+    QuarantinedRow,
+    QuarantineReport,
+    clean_anobii,
+    clean_bct,
+    quarantine_anobii,
+    quarantine_bct,
+)
 from repro.pipeline.genres import GenreModel, build_genre_model
 from repro.pipeline.merge import MergeConfig, MergeReport, build_merged_dataset
 from repro.pipeline import stats
 
 __all__ = [
+    "QuarantinedRow",
+    "QuarantineReport",
     "clean_anobii",
     "clean_bct",
+    "quarantine_anobii",
+    "quarantine_bct",
     "GenreModel",
     "build_genre_model",
     "MergeConfig",

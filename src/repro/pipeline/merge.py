@@ -29,7 +29,14 @@ from repro.datasets.models import (
     match_key,
 )
 from repro.errors import PipelineError
-from repro.pipeline.cleaning import CleaningReport, clean_anobii, clean_bct
+from repro.pipeline.cleaning import (
+    CleaningReport,
+    QuarantineReport,
+    clean_anobii,
+    clean_bct,
+    quarantine_anobii,
+    quarantine_bct,
+)
 from repro.pipeline.genres import (
     DEFAULT_MAX_BOOK_SHARE,
     DEFAULT_MIN_AFFINITY,
@@ -90,9 +97,14 @@ class MergeReport:
     books_before_filter: int
     books_after_filter: int
     genre_model: GenreModel = field(repr=False)
+    quarantine: QuarantineReport = field(default_factory=QuarantineReport)
+    """Malformed source rows set aside before cleaning (empty on clean
+    dumps); see :class:`repro.pipeline.cleaning.QuarantineReport`."""
 
     def __str__(self) -> str:
         lines = [str(report) for report in self.cleaning]
+        if self.quarantine:
+            lines.append(str(self.quarantine))
         lines.append(
             f"catalogue match: {self.matched_books} shared books "
             f"({self.bct_only_books} BCT-only and {self.anobii_only_books} "
@@ -111,9 +123,20 @@ def build_merged_dataset(
     bct: BCTDataset,
     anobii: AnobiiDataset,
     config: MergeConfig | None = None,
+    strict: bool = False,
 ) -> tuple[MergedDataset, MergeReport]:
-    """Run the full merge pipeline; see the module docstring."""
+    """Run the full merge pipeline; see the module docstring.
+
+    Malformed source rows (dangling foreign keys, impossible dates, blank
+    ids, duplicate catalogue entries) are quarantined — collected into
+    ``report.quarantine`` with row context — before the paper's cleaning
+    filters run. ``strict=True`` raises :class:`PipelineError` on the
+    first malformed dump instead.
+    """
     config = config or MergeConfig()
+    bct, bct_quarantine = quarantine_bct(bct, strict=strict)
+    anobii, anobii_quarantine = quarantine_anobii(anobii, strict=strict)
+    quarantine = bct_quarantine.extend(anobii_quarantine)
     cleaned_bct, bct_report = clean_bct(bct)
     cleaned_anobii, anobii_report = clean_anobii(anobii, config.min_rating)
 
@@ -157,6 +180,7 @@ def build_merged_dataset(
         books_before_filter=books_before,
         books_after_filter=books.num_rows,
         genre_model=genre_model,
+        quarantine=quarantine,
     )
     return merged, report
 

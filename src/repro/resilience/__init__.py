@@ -1,0 +1,76 @@
+"""Resilience layer: keep the serving stack answering when parts fail.
+
+Four building blocks, wired through the app/persistence/pipeline layers:
+
+- :mod:`~repro.resilience.retry` — deterministic exponential backoff with
+  jitter (:func:`retry_call`) and per-request :class:`Deadline` budgets;
+- :mod:`~repro.resilience.breaker` — a :class:`CircuitBreaker`
+  (closed/open/half-open) guarding the primary model in
+  :class:`~repro.app.service.RecommendationService`;
+- :mod:`~repro.resilience.artefacts` — crash-safe writes
+  (:func:`atomic_write`) and SHA-256 checksum manifests
+  (:func:`write_manifest` / :func:`verify_manifest`);
+- :mod:`~repro.resilience.faults` — the :class:`FaultInjector` chaos
+  harness (probabilistic or scripted failures at named sites).
+
+``faults`` wraps recommenders and therefore imports :mod:`repro.core`,
+which depends on :mod:`repro.tables` — the very module that needs
+``artefacts`` for atomic writes. To keep that import chain acyclic the
+fault classes are exported lazily (PEP 562) below.
+"""
+
+from repro.resilience._ambient import fault_check
+from repro.resilience.artefacts import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    atomic_write,
+    manifest_path_for,
+    sha256_file,
+    verify_manifest,
+    write_manifest,
+)
+from repro.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.retry import BackoffPolicy, Deadline, retry_call
+
+_LAZY_FAULT_EXPORTS = (
+    "FaultInjector",
+    "FaultyEmbedder",
+    "FaultyModel",
+    "SITE_EMBEDDER_ENCODE",
+    "SITE_IO_READ",
+    "SITE_IO_RENAME",
+    "SITE_IO_WRITE",
+    "SITE_MODEL_SCORE",
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "atomic_write",
+    "fault_check",
+    "manifest_path_for",
+    "retry_call",
+    "sha256_file",
+    "verify_manifest",
+    "write_manifest",
+    *_LAZY_FAULT_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_FAULT_EXPORTS:
+        from repro.resilience import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

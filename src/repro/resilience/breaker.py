@@ -1,0 +1,164 @@
+"""A circuit breaker guarding calls into an unreliable dependency.
+
+Classic three-state machine (Nygard's *Release It!* pattern):
+
+- **closed** — calls flow through; outcomes are recorded in a sliding
+  window. When the window holds at least ``min_calls`` outcomes and the
+  failure rate reaches ``failure_threshold``, the breaker opens.
+- **open** — calls are rejected instantly (the caller degrades to its
+  fallback) until ``cooldown_seconds`` have elapsed.
+- **half-open** — after the cool-down, a limited number of trial calls are
+  let through. ``successes_to_close`` consecutive successes close the
+  breaker and clear the window; any failure re-opens it and restarts the
+  cool-down.
+
+The clock is injectable so state transitions are fully deterministic in
+tests: advance a fake clock past the cool-down and the next
+:meth:`allow` observes the half-open transition.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker with a cool-down and half-open probes.
+
+    Args:
+        failure_threshold: failure rate in the window that opens the
+            breaker (``0 < threshold <= 1``).
+        min_calls: outcomes required in the window before the rate is
+            trusted (prevents one early failure from opening the breaker).
+        window: sliding-window size in calls.
+        cooldown_seconds: how long the breaker stays open before probing.
+        successes_to_close: consecutive half-open successes needed to close.
+        clock: injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        min_calls: int = 5,
+        window: int = 20,
+        cooldown_seconds: float = 30.0,
+        successes_to_close: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ConfigurationError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        if min_calls < 1 or window < 1 or successes_to_close < 1:
+            raise ConfigurationError(
+                "min_calls, window and successes_to_close must be >= 1"
+            )
+        if cooldown_seconds < 0:
+            raise ConfigurationError(
+                f"cooldown_seconds must be >= 0, got {cooldown_seconds}"
+            )
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.cooldown_seconds = cooldown_seconds
+        self.successes_to_close = successes_to_close
+        self._clock = clock
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._state = STATE_CLOSED
+        self._opened_at = 0.0
+        self._half_open_successes = 0
+        self.opened_count = 0
+        """How many times the breaker has transitioned closed/half-open -> open."""
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, observing a due open -> half-open transition."""
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly view for health reports."""
+        return {
+            "state": self.state,
+            "failure_rate": round(self.failure_rate, 4),
+            "window_calls": len(self._outcomes),
+            "opened_count": self.opened_count,
+            "cooldown_seconds": self.cooldown_seconds,
+        }
+
+    # ------------------------------------------------------------------
+    # protocol: allow() -> call -> record_success()/record_failure()
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether the guarded call may proceed right now."""
+        self._maybe_half_open()
+        if self._state == STATE_OPEN:
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self._maybe_half_open()
+        if self._state == STATE_HALF_OPEN:
+            self._half_open_successes += 1
+            if self._half_open_successes >= self.successes_to_close:
+                self._close()
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        self._maybe_half_open()
+        if self._state == STATE_HALF_OPEN:
+            self._open()
+            return
+        self._outcomes.append(False)
+        if (
+            self._state == STATE_CLOSED
+            and len(self._outcomes) >= self.min_calls
+            and self.failure_rate >= self.failure_threshold
+        ):
+            self._open()
+
+    def reset(self) -> None:
+        """Force-close the breaker and clear its window (e.g. on redeploy)."""
+        self._close()
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+
+    def _open(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self._clock()
+        self._half_open_successes = 0
+        self.opened_count += 1
+
+    def _close(self) -> None:
+        self._state = STATE_CLOSED
+        self._outcomes.clear()
+        self._half_open_successes = 0
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == STATE_OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = STATE_HALF_OPEN
+            self._half_open_successes = 0

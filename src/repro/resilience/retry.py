@@ -1,0 +1,171 @@
+"""Deterministic retry primitives: backoff policies and deadline budgets.
+
+Transient failures (a flaky embedder call, a file briefly locked by a
+concurrent writer) should be retried with exponential backoff; systemic
+failures should give up fast. Both behaviours are configured through
+:class:`BackoffPolicy` and executed by :func:`retry_call`.
+
+Everything here is deterministic: jitter is drawn from a
+:func:`repro.rng.derive_rng` stream, the clock and the sleep function are
+injectable, so a test (or the chaos suite) can replay the exact same
+schedule from a fixed seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+)
+from repro.rng import derive_rng
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with multiplicative jitter.
+
+    The delay before attempt ``n`` (1-based; the first attempt has no
+    delay) is ``min(base_delay * multiplier**(n - 1), max_delay)`` scaled
+    by a jitter factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def delays(self, rng: np.random.Generator) -> list[float]:
+        """The full jittered delay schedule (one entry per retry)."""
+        schedule = []
+        for attempt in range(self.max_attempts - 1):
+            raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+            factor = 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+            schedule.append(raw * factor)
+        return schedule
+
+
+class Deadline:
+    """A per-request time budget against an injectable monotonic clock.
+
+    ``Deadline.start(0.05)`` gives the request 50 ms; downstream code calls
+    :meth:`check` at its own safe points and gets a
+    :class:`DeadlineExceededError` once the budget is spent. A ``None``
+    budget produces an infinite deadline so callers need no special case.
+    """
+
+    def __init__(
+        self,
+        budget_seconds: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline budget must be positive, got {budget_seconds}"
+            )
+        self._clock = clock
+        self._budget = budget_seconds
+        self._started = clock()
+
+    @classmethod
+    def start(
+        cls,
+        budget_seconds: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        return cls(budget_seconds, clock)
+
+    @property
+    def budget_seconds(self) -> float | None:
+        return self._budget
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (``inf`` for an unlimited deadline)."""
+        if self._budget is None:
+            return float("inf")
+        return self._budget - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self._budget:.3f}s deadline "
+                f"({self.elapsed():.3f}s elapsed)"
+            )
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: BackoffPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    seed: int | None = None,
+    scope: str = "retry",
+    sleep: Callable[[float], None] = time.sleep,
+    deadline: Deadline | None = None,
+) -> T:
+    """Call ``fn`` until it succeeds, with deterministic backoff between tries.
+
+    Args:
+        fn: zero-argument callable to invoke.
+        policy: backoff configuration (defaults to :class:`BackoffPolicy`).
+        retry_on: exception types that trigger a retry; anything else
+            propagates immediately.
+        seed: seed for the jitter stream (``repro.rng`` semantics).
+        scope: name mixed into the jitter stream so co-seeded callers do
+            not share a schedule.
+        sleep: injectable sleep (tests pass a recorder).
+        deadline: optional budget; retries stop — and the *last* error is
+            wrapped in :class:`RetryExhaustedError` — once it expires.
+
+    Raises:
+        RetryExhaustedError: every attempt failed (carries ``last_error``).
+        DeadlineExceededError: the deadline was already spent before the
+            first attempt.
+    """
+    policy = policy or BackoffPolicy()
+    delays = policy.delays(derive_rng(seed, "resilience", scope))
+    if deadline is not None:
+        deadline.check("retry_call")
+    last_error: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            last_error = exc
+            out_of_budget = deadline is not None and deadline.expired
+            if attempt == policy.max_attempts - 1 or out_of_budget:
+                raise RetryExhaustedError(attempt + 1, exc) from exc
+            sleep(delays[attempt])
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -4,6 +4,11 @@ Both formats store a typed header so a table reloads with its exact schema:
 CSV uses a ``name:dtype`` header convention, JSONL writes a leading schema
 record. These files are how synthetic dataset dumps are persisted and how
 the example applications exchange data.
+
+Writes are crash-safe: both writers go through
+:func:`repro.resilience.artefacts.atomic_write` (temp file + fsync +
+rename), so a crash mid-write leaves the previous file — or nothing —
+under the destination name, never a half-written table.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import TableIOError
+from repro.resilience.artefacts import atomic_write
 from repro.tables.schema import Column, Schema
 from repro.tables.table import Table
 
@@ -25,7 +31,7 @@ def write_csv(table: Table, path: str | Path) -> None:
     """Write ``table`` to ``path`` as CSV with a typed ``name:dtype`` header."""
     path = Path(path)
     try:
-        with path.open("w", newline="", encoding="utf-8") as handle:
+        with atomic_write(path, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
             writer.writerow(f"{c.name}:{c.dtype}" for c in table.schema)
             columns = [table[name] for name in table.column_names]
@@ -68,7 +74,7 @@ def write_jsonl(table: Table, path: str | Path) -> None:
     """Write ``table`` to ``path`` as JSONL with a leading schema record."""
     path = Path(path)
     try:
-        with path.open("w", encoding="utf-8") as handle:
+        with atomic_write(path, "w", encoding="utf-8") as handle:
             schema_record = {
                 "__schema__": [[c.name, c.dtype] for c in table.schema]
             }

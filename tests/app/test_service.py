@@ -230,11 +230,28 @@ class TestRecommendMany:
         assert len(results[0]) == 5 and len(results[1]) == 7
         assert service.stats.cache_hits == 1
 
-    def test_unknown_user_rejected(self, service):
-        with pytest.raises(UnknownUserError):
-            service.recommend_many(
-                [RecommendationRequest(user_id="stranger", k=5)]
-            )
+    def test_unknown_user_marked_not_raised(self, service, a_user):
+        """An unserveable request must not poison the rest of the batch."""
+        from repro.app.service import SERVED_BY_NONE
+
+        responses = service.recommend_many_responses(
+            [
+                RecommendationRequest(user_id=a_user, k=5),
+                RecommendationRequest(user_id="stranger", k=5),
+                RecommendationRequest(user_id=a_user, k=6),
+            ]
+        )
+        assert len(responses[0].books) == 5
+        assert len(responses[2].books) == 6
+        stranger = responses[1]
+        assert stranger.books == ()
+        assert stranger.served_by == SERVED_BY_NONE
+        assert "stranger" in stranger.error
+        # recommend_many mirrors the markers as empty lists.
+        lists = service.recommend_many(
+            [RecommendationRequest(user_id="stranger", k=5)]
+        )
+        assert lists == [[]]
 
     def test_unknown_user_uses_fallback(self, tiny_bpr, tiny_split, tiny_merged):
         fallback = MostReadItems().fit(tiny_split.train, tiny_merged)
@@ -251,3 +268,135 @@ class TestRecommendMany:
 
     def test_empty_batch(self, service):
         assert service.recommend_many([]) == []
+
+
+class TestResilience:
+    """Degradation chain, health reporting, retries, and deadlines.
+
+    The heavier fault-driven scenarios live in
+    ``tests/resilience/test_chaos.py``; these cover the service-level
+    wiring visible without an injector.
+    """
+
+    def _failing_service(self, tiny_bpr, tiny_split, tiny_merged, **kwargs):
+        from repro.resilience.faults import SITE_MODEL_SCORE, FaultInjector, FaultyModel
+
+        injector = kwargs.pop(
+            "injector", FaultInjector(rates={SITE_MODEL_SCORE: 1.0}, seed=0)
+        )
+        fallback = MostReadItems().fit(tiny_split.train, tiny_merged)
+        service = RecommendationService(
+            FaultyModel(tiny_bpr, injector),
+            tiny_split.train,
+            tiny_merged,
+            cold_start_fallback=fallback,
+            **kwargs,
+        )
+        return service, injector
+
+    def test_health_report_shape(self, tiny_bpr, tiny_split, tiny_merged, a_user):
+        clock_value = [0.0]
+        service = RecommendationService(
+            tiny_bpr, tiny_split.train, tiny_merged,
+            clock=lambda: clock_value[0],
+        )
+        clock_value[0] = 42.0
+        service.recommend(RecommendationRequest(user_id=a_user, k=5))
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["breaker"]["state"] == "closed"
+        assert health["model"]["name"] == tiny_bpr.name
+        assert health["model"]["staleness_seconds"] == pytest.approx(42.0)
+        assert health["requests"] == 1
+        assert health["degraded_requests"] == 0
+        assert health["errors"] == 0
+        assert health["last_error"] is None
+        assert health["cache"]["entries"] == 1
+
+    def test_degrade_unknown_users(self, tiny_bpr, tiny_split, tiny_merged):
+        from repro.app.service import SERVED_BY_STATIC
+
+        service = RecommendationService(
+            tiny_bpr, tiny_split.train, tiny_merged,
+            degrade_unknown_users=True,
+        )
+        response = service.recommend_response(
+            RecommendationRequest(user_id="stranger", k=5)
+        )
+        assert response.served_by == SERVED_BY_STATIC
+        assert response.degraded
+        assert "stranger" in response.error
+        assert len(response.books) == 5
+        assert service.stats.degradations[SERVED_BY_STATIC] == 1
+
+    def test_degraded_responses_are_not_cached(
+        self, tiny_bpr, tiny_split, tiny_merged, a_user
+    ):
+        from repro.app.service import SERVED_BY_PRIMARY
+        from repro.resilience.faults import SITE_MODEL_SCORE
+
+        service, injector = self._failing_service(
+            tiny_bpr, tiny_split, tiny_merged
+        )
+        request = RecommendationRequest(user_id=a_user, k=5)
+        degraded = service.recommend_response(request)
+        assert degraded.degraded
+        assert service.cached_entries == 0
+        # Once the model recovers, the same request is served primary —
+        # the cache was never poisoned with the fallback list.
+        injector.set_rate(SITE_MODEL_SCORE, 0.0)
+        healed = service.recommend_response(request)
+        assert healed.served_by == SERVED_BY_PRIMARY
+        assert not healed.from_cache
+        assert service.recommend_response(request).from_cache
+
+    def test_retry_policy_recovers_transient_fault(
+        self, tiny_bpr, tiny_split, tiny_merged, a_user
+    ):
+        from repro.app.service import SERVED_BY_PRIMARY
+        from repro.resilience.faults import SITE_MODEL_SCORE, FaultInjector
+        from repro.resilience.retry import BackoffPolicy
+
+        injector = FaultInjector(script={SITE_MODEL_SCORE: [True, False]})
+        slept = []
+        service, _ = self._failing_service(
+            tiny_bpr, tiny_split, tiny_merged,
+            injector=injector,
+            retry_policy=BackoffPolicy(max_attempts=2, base_delay=0.01),
+            seed=7,
+            retry_sleep=slept.append,
+        )
+        response = service.recommend_response(
+            RecommendationRequest(user_id=a_user, k=5)
+        )
+        assert response.served_by == SERVED_BY_PRIMARY
+        assert not response.degraded
+        assert len(slept) == 1
+        assert injector.checked[SITE_MODEL_SCORE] == 2
+
+    def test_expired_deadline_degrades_before_scoring(
+        self, tiny_bpr, tiny_split, tiny_merged, a_user
+    ):
+        from repro.app.service import SERVED_BY_MOST_READ
+        from repro.resilience.faults import FaultInjector
+
+        # Every clock() call advances a full second, so a sub-second
+        # budget is already spent when the service checks the deadline.
+        ticks = iter(range(10_000))
+        injector = FaultInjector(seed=0)  # never fires
+        service, _ = self._failing_service(
+            tiny_bpr, tiny_split, tiny_merged,
+            injector=injector,
+            clock=lambda: float(next(ticks)),
+        )
+        response = service.recommend_response(
+            RecommendationRequest(user_id=a_user, k=5, timeout_seconds=0.5)
+        )
+        assert response.degraded
+        assert response.served_by == SERVED_BY_MOST_READ
+        assert "deadline" in response.error
+        assert injector.checked == {}  # the primary model was never invoked
+
+    def test_request_validates_timeout(self):
+        with pytest.raises(ConfigurationError, match="timeout"):
+            RecommendationRequest(user_id="u", timeout_seconds=0.0)

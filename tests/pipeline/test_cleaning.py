@@ -38,3 +38,139 @@ class TestCleanAnobii:
     def test_non_books_removed(self, tiny_sources):
         cleaned, _ = clean_anobii(tiny_sources.anobii)
         assert cleaned.items["is_book"].all()
+
+
+def _with_rows(table, rows):
+    from repro.tables.table import Table, concat_tables
+
+    return concat_tables(
+        [table, Table.from_rows(rows, schema=table.schema)]
+    )
+
+
+@pytest.fixture()
+def dirty_bct(tiny_sources):
+    """The tiny BCT dump with four malformed rows appended."""
+    from repro.datasets.bct import BCTDataset
+
+    bct = tiny_sources.bct
+    duplicate = dict(bct.books.row(0))
+    duplicate["title"] = "shadow copy"
+    books = _with_rows(bct.books, [duplicate])
+
+    template = dict(bct.loans.row(0))
+    dangling = {**template, "loan_id": 900001, "book_id": 99999999}
+    blank_user = {**template, "loan_id": 900002, "user_id": "   "}
+    reversed_dates = {
+        **template,
+        "loan_id": 900003,
+        "loan_date": template["return_date"],
+        "return_date": template["loan_date"],
+    }
+    assert template["return_date"] > template["loan_date"]
+    loans = _with_rows(bct.loans, [dangling, blank_user, reversed_dates])
+    return BCTDataset(books=books, loans=loans)
+
+
+@pytest.fixture()
+def dirty_anobii(tiny_sources):
+    """The tiny Anobii dump with four malformed rows appended."""
+    from repro.datasets.anobii import AnobiiDataset
+
+    anobii = tiny_sources.anobii
+    duplicate = dict(anobii.items.row(0))
+    items = _with_rows(anobii.items, [duplicate])
+
+    template = dict(anobii.ratings.row(0))
+    dangling = {**template, "rating_id": 900001, "item_id": 99999999}
+    blank_user = {**template, "rating_id": 900002, "user_id": ""}
+    out_of_range = {**template, "rating_id": 900003, "rating": 9}
+    ratings = _with_rows(
+        anobii.ratings, [dangling, blank_user, out_of_range]
+    )
+    return AnobiiDataset(items=items, ratings=ratings)
+
+
+class TestQuarantine:
+    def test_clean_sources_pass_through(self, tiny_sources):
+        from repro.pipeline.cleaning import quarantine_anobii, quarantine_bct
+
+        bct, bct_report = quarantine_bct(tiny_sources.bct)
+        anobii, anobii_report = quarantine_anobii(tiny_sources.anobii)
+        assert bct is tiny_sources.bct
+        assert anobii is tiny_sources.anobii
+        assert not bct_report and not anobii_report
+        assert "no malformed rows" in str(bct_report)
+
+    def test_bct_rows_quarantined_with_context(self, dirty_bct):
+        from repro.pipeline.cleaning import quarantine_bct
+
+        cleaned, report = quarantine_bct(dirty_bct)
+        assert report.n_rows == 4
+        reasons = {(row.table, row.reason) for row in report.rows}
+        assert reasons == {
+            ("bct.books", "duplicate book_id"),
+            ("bct.loans", "dangling book_id"),
+            ("bct.loans", "blank user_id"),
+            ("bct.loans", "returned before borrowed"),
+        }
+        dangling = next(
+            row for row in report.rows if row.reason == "dangling book_id"
+        )
+        assert dangling.context["book_id"] == "99999999"
+        assert dangling.row == dirty_bct.loans.num_rows - 3
+        cleaned.validate()  # the survivors are referentially sound
+
+    def test_anobii_rows_quarantined(self, dirty_anobii):
+        from repro.pipeline.cleaning import quarantine_anobii
+
+        cleaned, report = quarantine_anobii(dirty_anobii)
+        assert report.n_rows == 4
+        reasons = {row.reason for row in report.rows}
+        assert reasons == {
+            "duplicate item_id",
+            "dangling item_id",
+            "blank user_id",
+            "rating outside [1, 5]",
+        }
+        cleaned.validate()
+        assert "4 rows" in str(report)
+
+    def test_strict_mode_raises(self, dirty_bct, dirty_anobii):
+        from repro.errors import PipelineError
+        from repro.pipeline.cleaning import quarantine_anobii, quarantine_bct
+
+        with pytest.raises(PipelineError, match="malformed source rows"):
+            quarantine_bct(dirty_bct, strict=True)
+        with pytest.raises(PipelineError, match="malformed source rows"):
+            quarantine_anobii(dirty_anobii, strict=True)
+
+
+class TestMergeWithQuarantine:
+    def test_dirty_sources_merge_like_clean_ones(
+        self, tiny_sources, tiny_merged, dirty_bct, dirty_anobii
+    ):
+        from repro.pipeline import build_merged_dataset
+        from tests.conftest import TINY_MERGE
+
+        merged, report = build_merged_dataset(
+            dirty_bct, dirty_anobii, TINY_MERGE
+        )
+        assert report.quarantine.n_rows == 8
+        assert merged.books == tiny_merged.books
+        assert merged.readings == tiny_merged.readings
+        assert "quarantine" in str(report)
+
+    def test_clean_merge_reports_empty_quarantine(self, tiny_merge_report):
+        assert not tiny_merge_report.quarantine
+        assert "quarantine" not in str(tiny_merge_report)
+
+    def test_strict_merge_raises(self, dirty_bct, tiny_sources):
+        from repro.errors import PipelineError
+        from repro.pipeline import build_merged_dataset
+        from tests.conftest import TINY_MERGE
+
+        with pytest.raises(PipelineError, match="strict"):
+            build_merged_dataset(
+                dirty_bct, tiny_sources.anobii, TINY_MERGE, strict=True
+            )

@@ -1,0 +1,147 @@
+"""Tests for the circuit breaker state machine (deterministic fake clock)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(
+        failure_threshold=0.5, min_calls=4, window=8, cooldown_seconds=10.0,
+        clock=clock,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults), clock
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_stays_closed_below_min_calls(self):
+        breaker, _ = make_breaker(min_calls=4)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+    def test_opens_at_failure_threshold(self):
+        breaker, _ = make_breaker()
+        for _ in range(2):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+        assert breaker.opened_count == 1
+
+    def test_successes_dilute_the_window(self):
+        breaker, _ = make_breaker(window=8)
+        breaker.record_failure()
+        for _ in range(7):
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+
+class TestOpenAndHalfOpen:
+    def _opened(self, **kwargs):
+        breaker, clock = make_breaker(**kwargs)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        return breaker, clock
+
+    def test_rejects_while_cooling_down(self):
+        breaker, clock = self._opened()
+        clock.advance(9.9)
+        assert not breaker.allow()
+
+    def test_half_opens_after_cooldown(self):
+        breaker, clock = self._opened()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_half_open_success_closes_and_clears(self):
+        breaker, clock = self._opened()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.failure_rate == 0.0
+
+    def test_half_open_failure_reopens(self):
+        breaker, clock = self._opened()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.opened_count == 2
+        clock.advance(9.0)
+        assert not breaker.allow()  # the cool-down restarted
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_multiple_successes_to_close(self):
+        breaker, clock = self._opened(successes_to_close=2)
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+
+
+class TestMisc:
+    def test_reset_force_closes(self):
+        breaker, _ = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+        assert breaker.failure_rate == 0.0
+
+    def test_snapshot_shape(self):
+        breaker, _ = make_breaker()
+        breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == STATE_CLOSED
+        assert snapshot["failure_rate"] == 1.0
+        assert snapshot["window_calls"] == 1
+        assert snapshot["opened_count"] == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+            {"min_calls": 0},
+            {"window": 0},
+            {"cooldown_seconds": -1.0},
+            {"successes_to_close": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(**kwargs)

@@ -1,0 +1,165 @@
+"""Tests for deterministic backoff, retry, and deadline budgets."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+)
+from repro.resilience.retry import BackoffPolicy, Deadline, retry_call
+from repro.rng import derive_rng
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures: int, error: Exception | None = None) -> None:
+        self.failures = failures
+        self.calls = 0
+        self.error = error or ValueError("transient")
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+class TestBackoffPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = BackoffPolicy(
+            max_attempts=5, base_delay=1.0, multiplier=2.0, max_delay=3.0,
+            jitter=0.0,
+        )
+        assert policy.delays(derive_rng(0, "x")) == [1.0, 2.0, 3.0, 3.0]
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = BackoffPolicy(max_attempts=4, jitter=0.5)
+        first = policy.delays(derive_rng(7, "retry"))
+        second = policy.delays(derive_rng(7, "retry"))
+        assert first == second
+        assert first != policy.delays(derive_rng(8, "retry"))
+
+    def test_jitter_bounds(self):
+        policy = BackoffPolicy(
+            max_attempts=50, base_delay=1.0, multiplier=1.0, jitter=0.2,
+        )
+        for delay in policy.delays(derive_rng(3, "retry")):
+            assert 0.8 <= delay <= 1.2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(**kwargs)
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        flaky = Flaky(failures=2)
+        slept = []
+        result = retry_call(
+            flaky, policy=BackoffPolicy(max_attempts=3), seed=1,
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert flaky.calls == 3
+        assert len(slept) == 2
+
+    def test_exhaustion_wraps_last_error(self):
+        flaky = Flaky(failures=10)
+        with pytest.raises(RetryExhaustedError) as info:
+            retry_call(
+                flaky, policy=BackoffPolicy(max_attempts=3), seed=1,
+                sleep=lambda _: None,
+            )
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, ValueError)
+
+    def test_sleep_schedule_is_deterministic(self):
+        def run():
+            slept = []
+            with pytest.raises(RetryExhaustedError):
+                retry_call(
+                    Flaky(failures=10),
+                    policy=BackoffPolicy(max_attempts=4),
+                    seed=42, sleep=slept.append,
+                )
+            return slept
+
+        assert run() == run()
+
+    def test_non_retryable_error_propagates(self):
+        flaky = Flaky(failures=5, error=KeyError("nope"))
+        with pytest.raises(KeyError):
+            retry_call(
+                flaky, retry_on=(ValueError,), sleep=lambda _: None,
+            )
+        assert flaky.calls == 1
+
+    def test_expired_deadline_stops_retries(self):
+        clock = FakeClock()
+        deadline = Deadline.start(1.0, clock)
+
+        def failing():
+            clock.advance(2.0)  # the first attempt burns the whole budget
+            raise ValueError("slow failure")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            retry_call(
+                failing, policy=BackoffPolicy(max_attempts=5), seed=0,
+                sleep=lambda _: None, deadline=deadline,
+            )
+        assert info.value.attempts == 1
+
+    def test_dead_deadline_rejected_upfront(self):
+        clock = FakeClock()
+        deadline = Deadline.start(0.5, clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError):
+            retry_call(lambda: "ok", deadline=deadline)
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline.start(2.0, clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError, match="deadline"):
+            deadline.check()
+
+    def test_none_budget_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline.start(None, clock)
+        clock.advance(1e9)
+        assert deadline.remaining() == float("inf")
+        deadline.check()  # does not raise
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deadline.start(0.0)

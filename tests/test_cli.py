@@ -60,3 +60,48 @@ class TestCommands:
         assert main(["--scale", "small", "serve-demo"]) == 0
         out = capsys.readouterr().out
         assert "mean latency" in out
+
+
+class TestHealth:
+    @pytest.fixture()
+    def saved(self, tmp_path, tiny_merged, tiny_bpr, tiny_split):
+        from repro.app.persistence import save_bpr, save_dataset
+
+        dataset_dir = tmp_path / "dataset"
+        save_dataset(tiny_merged, dataset_dir)
+        save_bpr(tiny_bpr, tiny_split.train, tmp_path / "model.npz")
+        return tmp_path
+
+    def test_healthy_artefacts_exit_zero(self, saved, capsys):
+        assert main(["health", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "status: ok" in out
+        assert out.count("ok    ") == 2  # the dataset dir and the model
+
+    def test_corrupt_artefact_exit_one(self, saved, capsys):
+        books = saved / "dataset" / "books.csv"
+        books.write_bytes(books.read_bytes() + b"tampered\n")
+        assert main(["health", str(saved)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "ChecksumMismatchError" in out
+        assert "status: corrupt" in out
+
+    def test_single_file_target(self, saved, capsys):
+        assert main(["health", str(saved / "model.npz")]) == 0
+        assert "status: ok" in capsys.readouterr().out
+
+    def test_missing_path(self, tmp_path, capsys):
+        assert main(["health", str(tmp_path / "nope")]) == 1
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_no_artefacts_is_unknown(self, tmp_path, capsys):
+        assert main(["health", str(tmp_path)]) == 1
+        assert "status: unknown" in capsys.readouterr().out
+
+    def test_generate_then_health_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "dataset"
+        assert main(["--scale", "small", "generate", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["health", str(target)]) == 0
+        assert "status: ok" in capsys.readouterr().out

@@ -22,6 +22,8 @@ PUBLIC_API = {
     "repro.pipeline": [
         "clean_bct", "clean_anobii", "build_genre_model", "GenreModel",
         "MergeConfig", "MergeReport", "build_merged_dataset", "stats",
+        "QuarantineReport", "QuarantinedRow",
+        "quarantine_bct", "quarantine_anobii",
     ],
     "repro.text": [
         "HashedTfidfEmbedder", "SentenceEmbedder", "TfidfModel",
@@ -50,7 +52,14 @@ PUBLIC_API = {
     ],
     "repro.app": [
         "RecommendationService", "RecommendationRequest", "ServedBook",
+        "ServedResponse", "ServiceStats",
         "save_dataset", "load_dataset", "save_bpr", "load_bpr",
+    ],
+    "repro.resilience": [
+        "BackoffPolicy", "Deadline", "retry_call",
+        "CircuitBreaker",
+        "FaultInjector", "FaultyModel", "FaultyEmbedder",
+        "atomic_write", "write_manifest", "verify_manifest", "sha256_file",
     ],
 }
 
