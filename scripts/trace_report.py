@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Render a JSONL trace file into a per-stage timing table.
+
+Reads a trace exported by ``python -m repro metrics --trace out.jsonl``
+(or any :meth:`repro.obs.trace.Tracer.export_jsonl` output), groups the
+spans by name, and prints calls / wall time / mean latency / CPU time /
+share-of-total / error counts per stage. The script adds ``src/`` to
+``sys.path`` itself, so it works from a plain checkout.
+
+Usage::
+
+    python scripts/trace_report.py out.jsonl [--top N]
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.obs.report import (  # noqa: E402
+    load_trace_jsonl,
+    render_stage_table,
+    stage_profiles,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="per-stage timing table for a JSONL trace"
+    )
+    parser.add_argument("trace", help="path to the JSONL trace file")
+    parser.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="only show the N stages with the most wall time",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"trace_report: {path} does not exist", file=sys.stderr)
+        return 1
+    spans = load_trace_jsonl(path)
+    if not spans:
+        print(f"trace_report: {path} contains no spans", file=sys.stderr)
+        return 1
+    profiles = stage_profiles(spans)
+    if args.top is not None:
+        keep = {p.name for p in profiles[: args.top]}
+        spans = [s for s in spans if s.get("name") in keep]
+    errors = sum(p.errors for p in profiles)
+    print(f"trace {path}: {len(spans)} spans, {len(profiles)} stages")
+    print(render_stage_table(spans))
+    if errors:
+        print(f"({errors} span(s) ended in error)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,12 +23,23 @@ breaker, or an expired per-request deadline) degrades the response
 instead of failing the request; every response carries a ``served_by``
 tag, degradations are counted per source in :class:`ServiceStats`, and
 :meth:`RecommendationService.health` reports the whole picture.
+
+Observability: the service owns (or is handed) a
+:class:`~repro.obs.metrics.MetricsRegistry` and mirrors every
+:class:`ServiceStats` movement into it — request/cache/degradation
+counters, breaker state transitions (via
+:attr:`~repro.resilience.breaker.CircuitBreaker.on_transition`), and a
+shared latency histogram that *is* the percentile source for both
+:meth:`ServiceStats.percentile` and :meth:`RecommendationService.health`,
+so the two views can never disagree. An optional
+:class:`~repro.obs.trace.Tracer` records one span per cache-missed
+request and per batch.
 """
 
 from __future__ import annotations
 
 import time
-from collections import Counter, OrderedDict, deque
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
@@ -39,7 +50,14 @@ from repro.core.interactions import InteractionMatrix
 from repro.core.most_read import MostReadItems
 from repro.datasets.merged import MergedDataset
 from repro.errors import ConfigurationError, UnknownUserError
-from repro.resilience.breaker import STATE_CLOSED, CircuitBreaker
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import Tracer, start_span
+from repro.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
 from repro.resilience.retry import BackoffPolicy, Deadline, retry_call
 
 #: The paper's deployed list length.
@@ -56,6 +74,13 @@ SERVED_BY_PRIMARY = "primary"
 SERVED_BY_MOST_READ = "most-read"
 SERVED_BY_STATIC = "static"
 SERVED_BY_NONE = "none"
+
+#: Breaker states encoded for the ``service.breaker_state`` gauge.
+_BREAKER_STATE_VALUE = {
+    STATE_CLOSED: 0.0,
+    STATE_HALF_OPEN: 1.0,
+    STATE_OPEN: 2.0,
+}
 
 
 @dataclass(frozen=True)
@@ -114,12 +139,15 @@ class ServedResponse:
 class ServiceStats:
     """Aggregate latency, cache, and degradation accounting.
 
-    ``latencies`` is a bounded deque (``latency_window`` most recent
-    requests) so a long-lived service's memory stays constant;
-    :meth:`percentile` reports over that window. ``degradations`` counts
-    fallback-served requests per ``served_by`` source; ``errors`` counts
-    underlying failures (which can exceed degradations when retries or
-    multiple chain links fail for one request).
+    Latency percentiles are driven by a single shared
+    :class:`~repro.obs.metrics.Histogram` (``latency_window`` bounds its
+    raw-observation window, so a long-lived service's memory stays
+    constant): :meth:`percentile`, :attr:`latencies`, and the metrics
+    registry's ``service.latency_seconds`` series all read the same
+    object and cannot disagree. ``degradations`` counts fallback-served
+    requests per ``served_by`` source; ``errors`` counts underlying
+    failures (which can exceed degradations when retries or multiple
+    chain links fail for one request).
     """
 
     requests: int = 0
@@ -130,14 +158,25 @@ class ServiceStats:
     errors: int = 0
     last_error: str | None = None
     degradations: Counter = field(default_factory=Counter)
-    latencies: deque = field(init=False, repr=False)
+    histogram: "Histogram | None" = field(default=None, repr=False)
+    """The shared latency histogram; a standalone one is built when the
+    stats object is not wired into a registry."""
 
     def __post_init__(self) -> None:
         if self.latency_window < 1:
             raise ConfigurationError(
                 f"latency_window must be >= 1, got {self.latency_window}"
             )
-        self.latencies = deque(maxlen=self.latency_window)
+        if self.histogram is None:
+            self.histogram = Histogram(
+                "service.latency_seconds", window=self.latency_window
+            )
+
+    @property
+    def latencies(self) -> tuple[float, ...]:
+        """The retained per-request latencies (histogram window view)."""
+        assert self.histogram is not None
+        return self.histogram.window
 
     @property
     def mean_seconds(self) -> float:
@@ -153,17 +192,17 @@ class ServiceStats:
         return int(sum(self.degradations.values()))
 
     def percentile(self, q: float) -> float:
-        if not self.latencies:
-            return 0.0
-        return float(np.quantile(np.asarray(self.latencies), q))
+        assert self.histogram is not None
+        return self.histogram.percentile(q)
 
     def record(self, elapsed: float, requests: int = 1) -> None:
         """Account ``requests`` requests served in ``elapsed`` seconds."""
+        assert self.histogram is not None
         self.requests += requests
         self.total_seconds += elapsed
         per_request = elapsed / requests if requests else 0.0
         for _ in range(requests):
-            self.latencies.append(per_request)
+            self.histogram.observe(per_request)
 
     def note_error(self, error: BaseException | str) -> None:
         self.errors += 1
@@ -203,9 +242,15 @@ class RecommendationService:
             ``cold_start_fallback`` gets the static most-popular list (a
             degraded response) instead of :class:`UnknownUserError`.
         seed: seed for the retry jitter stream (``repro.rng`` semantics).
-        clock: injectable monotonic clock for deadlines and staleness.
+        clock: injectable monotonic clock for deadlines, staleness, and
+            latency accounting.
         retry_sleep: injectable sleep for retry backoff (tests pass a
             no-op or recorder).
+        metrics: a :class:`~repro.obs.metrics.MetricsRegistry` to record
+            into; the service builds a private one when omitted, so the
+            ``service.*`` series always exist.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; when set, each
+            cache-missed request and each batch gets a span.
     """
 
     def __init__(
@@ -222,6 +267,8 @@ class RecommendationService:
         seed: int | None = None,
         clock: Callable[[], float] = time.monotonic,
         retry_sleep: Callable[[float], None] = time.sleep,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if not model.is_fitted:
             raise ConfigurationError(
@@ -244,7 +291,38 @@ class RecommendationService:
         self.retry_policy = retry_policy
         self.degrade_unknown_users = degrade_unknown_users
         self.seed = seed
-        self.stats = ServiceStats(latency_window=latency_window)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._m_requests = self.metrics.counter(
+            "service.requests", help="requests answered (all paths)"
+        )
+        self._m_cache = self.metrics.counter(
+            "service.cache", help="cache lookups by outcome label"
+        )
+        self._m_served = self.metrics.counter(
+            "service.served", help="responses by served_by source label"
+        )
+        self._m_degraded = self.metrics.counter(
+            "service.degraded", help="degraded responses by source label"
+        )
+        self._m_errors = self.metrics.counter(
+            "service.errors", help="underlying scoring/fallback failures"
+        )
+        self._m_breaker_state = self.metrics.gauge(
+            "service.breaker_state", help="0=closed, 1=half-open, 2=open"
+        )
+        self._m_breaker_transitions = self.metrics.counter(
+            "service.breaker_transitions", help="state changes by target"
+        )
+        latency_histogram = self.metrics.histogram(
+            "service.latency_seconds", window=latency_window,
+            help="per-request service latency",
+        )
+        self.stats = ServiceStats(
+            latency_window=latency_window, histogram=latency_histogram
+        )
+        self.breaker.on_transition = self._on_breaker_transition
+        self._m_breaker_state.set(_BREAKER_STATE_VALUE[self.breaker.state])
         self._clock = clock
         self._retry_sleep = retry_sleep
         self._model_loaded_at = clock()
@@ -342,22 +420,33 @@ class RecommendationService:
         primary-model failure degrades through the fallback chain instead
         of raising.
         """
-        started = time.perf_counter()
+        started = self._clock()
+        self._m_requests.inc()
         key = (request.user_id, request.k)
         cached = self._cache_get(key)
         if cached is not None:
             self.stats.cache_hits += 1
-            self.stats.record(time.perf_counter() - started)
+            self._m_cache.labels(outcome="hit").inc()
+            self._m_served.labels(source=cached.served_by).inc()
+            self.stats.record(self._clock() - started)
             return replace(cached, from_cache=True)
         self.stats.cache_misses += 1
-        try:
-            response = self._resolve(request)
-        except UnknownUserError:
-            self.stats.record(time.perf_counter() - started)
-            raise
+        self._m_cache.labels(outcome="miss").inc()
+        with start_span(
+            self.tracer, "service.request", user_id=request.user_id,
+            k=request.k,
+        ) as span:
+            try:
+                response = self._resolve(request)
+            except UnknownUserError:
+                self.stats.record(self._clock() - started)
+                raise
+            span.set_attrs(
+                served_by=response.served_by, degraded=response.degraded
+            )
         self._account(response)
         self._cache_put(key, response)
-        self.stats.record(time.perf_counter() - started)
+        self.stats.record(self._clock() - started)
         return response
 
     def recommend_many(
@@ -387,7 +476,12 @@ class RecommendationService:
         fallback chain; per-request failures are returned as error-marked
         responses, so one bad request cannot poison the rest of the batch.
         """
-        started = time.perf_counter()
+        started = self._clock()
+        self._m_requests.inc(len(requests))
+        batch_span = start_span(
+            self.tracer, "service.batch", requests=len(requests)
+        )
+        batch_span.__enter__()
         results: list[ServedResponse | None] = [None] * len(requests)
         pending: dict[int, list[tuple[int, int]]] = {}
         for position, request in enumerate(requests):
@@ -395,9 +489,12 @@ class RecommendationService:
             cached = self._cache_get(key)
             if cached is not None:
                 self.stats.cache_hits += 1
+                self._m_cache.labels(outcome="hit").inc()
+                self._m_served.labels(source=cached.served_by).inc()
                 results[position] = replace(cached, from_cache=True)
                 continue
             self.stats.cache_misses += 1
+            self._m_cache.labels(outcome="miss").inc()
             if self.known_user(request.user_id) and self.breaker.allow():
                 user_index = int(self.train.users.index_of(request.user_id))
                 pending.setdefault(request.k, []).append((position, user_index))
@@ -406,7 +503,7 @@ class RecommendationService:
             try:
                 response = self._resolve(request)
             except UnknownUserError as exc:
-                self.stats.note_error(exc)
+                self._note_error(exc)
                 response = ServedResponse(
                     books=(),
                     served_by=SERVED_BY_NONE,
@@ -414,6 +511,8 @@ class RecommendationService:
                     error=f"{type(exc).__name__}: {exc}",
                 )
                 self.stats.note_degraded(SERVED_BY_NONE)
+                self._m_degraded.labels(source=SERVED_BY_NONE).inc()
+                self._m_served.labels(source=SERVED_BY_NONE).inc()
                 results[position] = response
                 continue
             self._account(response)
@@ -425,7 +524,7 @@ class RecommendationService:
                 batches = self._primary_batch(indices, k)
             except Exception as exc:  # noqa: BLE001 — degrade, never fail
                 self.breaker.record_failure()
-                self.stats.note_error(exc)
+                self._note_error(exc)
                 error = f"{type(exc).__name__}: {exc}"
                 for position, user_index in entries:
                     items, source = self._fallback_items(user_index, k)
@@ -444,10 +543,12 @@ class RecommendationService:
                     books=tuple(self._serve_books(items, k)),
                     served_by=SERVED_BY_PRIMARY,
                 )
+                self._account(response)
                 self._cache_put((requests[position].user_id, k), response)
                 results[position] = response
+        batch_span.__exit__(None, None, None)
         if requests:
-            self.stats.record(time.perf_counter() - started, len(requests))
+            self.stats.record(self._clock() - started, len(requests))
         return [
             result
             if result is not None
@@ -479,8 +580,18 @@ class RecommendationService:
     # health
     # ------------------------------------------------------------------
 
+    def metrics_snapshot(self) -> dict:
+        """The metrics registry's immutable snapshot (see
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`)."""
+        return self.metrics.snapshot()
+
     def health(self) -> dict:
-        """A service health report (breaker, cache, staleness, errors)."""
+        """A service health report (breaker, cache, latency, errors).
+
+        The ``latency`` percentiles read the same shared histogram as
+        :meth:`ServiceStats.percentile` and the metrics snapshot — one
+        source of truth for all three views.
+        """
         stats = self.stats
         breaker = self.breaker.snapshot()
         return {
@@ -490,6 +601,12 @@ class RecommendationService:
                 "entries": self.cached_entries,
                 "capacity": self.cache_size,
                 "hit_rate": round(stats.cache_hit_rate, 4),
+            },
+            "latency": {
+                "mean_seconds": stats.mean_seconds,
+                "p50": stats.percentile(0.50),
+                "p95": stats.percentile(0.95),
+                "p99": stats.percentile(0.99),
             },
             "model": {
                 "name": self.model.name,
@@ -534,7 +651,7 @@ class RecommendationService:
                     )
                 except Exception as exc:  # noqa: BLE001 — degrade, never fail
                     self.breaker.record_failure()
-                    self.stats.note_error(exc)
+                    self._note_error(exc)
                     error = f"{type(exc).__name__}: {exc}"
             else:
                 error = "circuit breaker open"
@@ -554,7 +671,7 @@ class RecommendationService:
                     served_by=SERVED_BY_MOST_READ,
                 )
             except Exception as exc:  # noqa: BLE001
-                self.stats.note_error(exc)
+                self._note_error(exc)
                 items, source = self._static_items(None, k)
                 return ServedResponse(
                     books=tuple(self._serve_books(items, k)),
@@ -620,7 +737,7 @@ class RecommendationService:
                     items = items[~np.isin(items, seen)]
                 return items[:k], SERVED_BY_MOST_READ
             except Exception as exc:  # noqa: BLE001 — fall further
-                self.stats.note_error(exc)
+                self._note_error(exc)
         return self._static_items(user_index, k)
 
     def _static_items(
@@ -639,9 +756,20 @@ class RecommendationService:
             return np.asarray([], dtype=np.int64)
         return np.asarray(self.train.user_items(user_index), dtype=np.int64)
 
+    def _note_error(self, error: BaseException | str) -> None:
+        """Record a failure in both the stats and the metrics registry."""
+        self.stats.note_error(error)
+        self._m_errors.inc()
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self._m_breaker_state.set(_BREAKER_STATE_VALUE.get(new, -1.0))
+        self._m_breaker_transitions.labels(to=new).inc()
+
     def _account(self, response: ServedResponse) -> None:
+        self._m_served.labels(source=response.served_by).inc()
         if response.degraded:
             self.stats.note_degraded(response.served_by)
+            self._m_degraded.labels(source=response.served_by).inc()
             if response.error and self.stats.last_error is None:
                 self.stats.last_error = response.error
 

@@ -15,6 +15,11 @@ Commands:
   ``BENCH_fastpath.json``.
 - ``health <path>`` — verify the checksum manifests of saved artefacts
   (datasets and models) and print a health report; exits 1 on corruption.
+- ``metrics <path>`` — run the instrumented demo (pipeline → fit →
+  evaluate → serve), write the metrics snapshot JSON to ``<path>``, and
+  optionally export the span trace (``--trace out.jsonl``) plus a
+  per-stage timing table. ``--deterministic`` pins the tracer/service
+  clocks so the output is bit-reproducible (the golden-test setting).
 """
 
 from __future__ import annotations
@@ -84,6 +89,22 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument(
         "target", help="artefact to check: a dataset/model directory or file"
     )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the instrumented demo and write a metrics snapshot",
+    )
+    metrics.add_argument(
+        "snapshot", help="where to write the metrics snapshot JSON"
+    )
+    metrics.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also export the span trace as JSONL and print a stage table",
+    )
+    metrics.add_argument(
+        "--deterministic", action="store_true",
+        help="pin tracer/service clocks for bit-reproducible output",
+    )
     return parser
 
 
@@ -91,6 +112,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "health":
         return _health(args.target)
+    if args.command == "metrics":
+        return _metrics(args)
     config = config_for_scale(args.scale, seed=args.seed)
     context = ExperimentContext(config)
     if args.command == "experiment":
@@ -209,6 +232,38 @@ def _health(target: str) -> int:
         print(f"status: corrupt ({failures} of {len(checks)} artefacts failed)")
         return 1
     print(f"status: ok ({len(checks)} artefact(s) verified)")
+    return 0
+
+
+def _metrics(args: argparse.Namespace) -> int:
+    """Run the instrumented demo; write snapshot JSON and optional trace."""
+    import json
+
+    from repro.obs.demo import run_instrumented_demo
+    from repro.obs.report import render_stage_table
+    from repro.resilience.artefacts import atomic_write
+
+    kwargs = {"deterministic": args.deterministic}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    run = run_instrumented_demo(**kwargs)
+
+    snapshot = run.metrics.snapshot()
+    with atomic_write(args.snapshot) as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"metrics snapshot written to {args.snapshot}")
+    print(
+        f"  {len(snapshot['counters'])} counters, "
+        f"{len(snapshot['gauges'])} gauges, "
+        f"{len(snapshot['histograms'])} histograms"
+    )
+    if args.trace:
+        run.tracer.export_jsonl(args.trace)
+        spans = [span.as_dict() for span in run.tracer.spans]
+        print(f"trace ({len(spans)} spans) written to {args.trace}")
+        print(render_stage_table(spans))
+    print(f"service health: {run.health['status']}")
     return 0
 
 

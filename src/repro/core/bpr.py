@@ -21,7 +21,8 @@ by the sampler ablation bench.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -29,7 +30,15 @@ from repro.core.base import Recommender
 from repro.core.interactions import InteractionMatrix
 from repro.datasets.merged import MergedDataset
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, start_span
 from repro.rng import derive_rng
+
+#: Fixed buckets for the per-epoch / per-batch training-time histograms.
+_TRAIN_TIME_BUCKETS = (
+    0.0001, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0, 300.0,
+)
 
 SAMPLERS = ("warp", "uniform")
 
@@ -90,13 +99,35 @@ class EpochStats:
 
 
 class BPR(Recommender):
-    """The collaborative-filtering recommender of the paper."""
+    """The collaborative-filtering recommender of the paper.
+
+    Observability hooks (all optional, all inert by default — fitting with
+    none of them set is bit-identical to the uninstrumented model because
+    the tracer/metrics draw no randomness from the training stream):
+
+    - ``callbacks``: called with each epoch's :class:`EpochStats` as it
+      completes (progress bars, early-stopping monitors, ...);
+    - ``tracer``: emits one ``bpr.fit`` span wrapping per-epoch
+      ``bpr.epoch`` child spans with trial/update diagnostics as attrs;
+    - ``metrics``: gauges ``bpr.updated_fraction``/``bpr.mean_violation_trials``,
+      an epoch counter, and ``bpr.epoch_seconds``/``bpr.batch_seconds``
+      histograms.
+    """
 
     exclude_seen = True
 
-    def __init__(self, config: BPRConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: BPRConfig | None = None,
+        callbacks: "Sequence[Callable[[EpochStats], None]] | None" = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         super().__init__()
         self.config = config or BPRConfig()
+        self.callbacks = tuple(callbacks or ())
+        self.tracer = tracer
+        self.metrics = metrics
         self._user_factors: np.ndarray | None = None
         self._item_factors: np.ndarray | None = None
         self.history: list[EpochStats] = []
@@ -137,27 +168,66 @@ class BPR(Recommender):
         seen_keys = train.interaction_keys()
         self.history = []
 
-        for epoch in range(cfg.epochs):
-            started = time.perf_counter()
-            order = rng.permutation(len(pos_users))
-            trial_total, updated_total = 0.0, 0
-            for start in range(0, len(order), cfg.batch_size):
-                batch = order[start:start + cfg.batch_size]
-                stats = self._train_batch(
-                    V, P, pos_users[batch], pos_items[batch],
-                    seen_keys, n_items, rng,
-                )
-                trial_total += stats[0]
-                updated_total += stats[1]
-            n_pairs = len(order)
-            self.history.append(
-                EpochStats(
-                    epoch=epoch,
-                    mean_violation_trials=trial_total / max(updated_total, 1),
-                    updated_fraction=updated_total / max(n_pairs, 1),
-                    seconds=time.perf_counter() - started,
-                )
-            )
+        metrics = self.metrics
+        batch_histogram = (
+            metrics.histogram("bpr.batch_seconds", buckets=_TRAIN_TIME_BUCKETS)
+            if metrics is not None
+            else None
+        )
+        with start_span(
+            self.tracer, "bpr.fit",
+            n_users=n_users, n_items=n_items, n_pairs=len(pos_users),
+            epochs=cfg.epochs, sampler=cfg.sampler,
+        ):
+            for epoch in range(cfg.epochs):
+                started = time.perf_counter()
+                with start_span(self.tracer, "bpr.epoch", epoch=epoch) as span:
+                    order = rng.permutation(len(pos_users))
+                    trial_total, updated_total = 0.0, 0
+                    for start in range(0, len(order), cfg.batch_size):
+                        batch = order[start:start + cfg.batch_size]
+                        batch_started = (
+                            time.perf_counter()
+                            if batch_histogram is not None
+                            else 0.0
+                        )
+                        stats = self._train_batch(
+                            V, P, pos_users[batch], pos_items[batch],
+                            seen_keys, n_items, rng,
+                        )
+                        if batch_histogram is not None:
+                            batch_histogram.observe(
+                                time.perf_counter() - batch_started
+                            )
+                        trial_total += stats[0]
+                        updated_total += stats[1]
+                    n_pairs = len(order)
+                    epoch_stats = EpochStats(
+                        epoch=epoch,
+                        mean_violation_trials=(
+                            trial_total / max(updated_total, 1)
+                        ),
+                        updated_fraction=updated_total / max(n_pairs, 1),
+                        seconds=time.perf_counter() - started,
+                    )
+                    span.set_attrs(
+                        mean_violation_trials=epoch_stats.mean_violation_trials,
+                        updated_fraction=epoch_stats.updated_fraction,
+                    )
+                self.history.append(epoch_stats)
+                if metrics is not None:
+                    metrics.counter("bpr.epochs").inc()
+                    metrics.gauge("bpr.updated_fraction").set(
+                        epoch_stats.updated_fraction
+                    )
+                    metrics.gauge("bpr.mean_violation_trials").set(
+                        epoch_stats.mean_violation_trials
+                    )
+                    metrics.histogram(
+                        "bpr.epoch_seconds", buckets=_TRAIN_TIME_BUCKETS
+                    ).observe(epoch_stats.seconds)
+                for callback in self.callbacks:
+                    callback(epoch_stats)
         self._user_factors = V
         self._item_factors = P
 

@@ -28,6 +28,8 @@ from repro.core.base import Recommender
 from repro.core.interactions import InteractionMatrix
 from repro.datasets.merged import MergedDataset
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, start_span
 from repro.text.embedder import HashedTfidfEmbedder, SentenceEmbedder
 from repro.text.similarity import (
     cosine_similarity_matrix,
@@ -52,6 +54,11 @@ class ClosestItems(Recommender):
             computes it in one pass.
         dtype: similarity precision (``np.float64`` default;
             ``np.float32`` halves memory).
+        tracer: optional :class:`~repro.obs.trace.Tracer`; when set, the
+            fit emits ``closest_items.summaries`` / ``.embed`` /
+            ``.similarity`` spans. ``None`` (default) is allocation-free.
+        metrics: optional registry recording the fitted similarity's
+            footprint (``closest_items.similarity_nbytes`` gauge).
     """
 
     exclude_seen = True
@@ -63,6 +70,8 @@ class ClosestItems(Recommender):
         top_n_neighbors: int | None = None,
         block_size: int | None = None,
         dtype: np.dtype | type = np.float64,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__()
         if top_n_neighbors is not None and top_n_neighbors < 1:
@@ -74,6 +83,8 @@ class ClosestItems(Recommender):
         self.top_n_neighbors = top_n_neighbors
         self.block_size = block_size
         self.dtype = dtype
+        self.tracer = tracer
+        self.metrics = metrics
         self._similarity: np.ndarray | None = None
         self._similarity_sparse: sparse.csr_matrix | None = None
 
@@ -91,34 +102,50 @@ class ClosestItems(Recommender):
                 "ClosestItems needs the merged dataset's metadata; "
                 "pass dataset= to fit()"
             )
-        summaries_by_book = self.summary_builder.build_all(dataset)
-        try:
-            summaries = [
-                summaries_by_book[int(train.items.id_of(i))]
-                for i in range(train.n_items)
-            ]
-        except KeyError as exc:
-            raise ConfigurationError(
-                f"training matrix contains a book without metadata: {exc}"
-            ) from exc
-        self.embedder.fit(summaries)
-        embeddings = self.embedder.encode(summaries)
-        if self.top_n_neighbors is not None:
-            self._similarity_sparse = truncated_similarity_matrix(
-                embeddings,
-                self.top_n_neighbors,
-                block_size=self.block_size,
-                dtype=self.dtype,
+        with start_span(
+            self.tracer, "closest_items.summaries", n_items=train.n_items
+        ):
+            summaries_by_book = self.summary_builder.build_all(dataset)
+            try:
+                summaries = [
+                    summaries_by_book[int(train.items.id_of(i))]
+                    for i in range(train.n_items)
+                ]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"training matrix contains a book without metadata: {exc}"
+                ) from exc
+        with start_span(
+            self.tracer, "closest_items.embed", n_summaries=len(summaries)
+        ):
+            self.embedder.fit(summaries)
+            embeddings = self.embedder.encode(summaries)
+        sparse_mode = self.top_n_neighbors is not None
+        with start_span(
+            self.tracer, "closest_items.similarity", sparse=sparse_mode
+        ) as span:
+            if sparse_mode:
+                self._similarity_sparse = truncated_similarity_matrix(
+                    embeddings,
+                    self.top_n_neighbors,
+                    block_size=self.block_size,
+                    dtype=self.dtype,
+                )
+                self._similarity = None
+            else:
+                self._similarity = cosine_similarity_matrix(
+                    embeddings, block_size=self.block_size, dtype=self.dtype
+                )
+                # A book is trivially most similar to itself; zero the
+                # diagonal so self-similarity never contributes to Eq. (1).
+                np.fill_diagonal(self._similarity, 0.0)
+                self._similarity_sparse = None
+            nbytes = self.similarity_nbytes()
+            span.set_attrs(similarity_nbytes=nbytes)
+        if self.metrics is not None:
+            self.metrics.gauge("closest_items.similarity_nbytes").set(
+                float(nbytes)
             )
-            self._similarity = None
-            return
-        self._similarity = cosine_similarity_matrix(
-            embeddings, block_size=self.block_size, dtype=self.dtype
-        )
-        # A book is trivially most similar to itself; zero the diagonal so
-        # self-similarity never contributes to Eq. (1).
-        np.fill_diagonal(self._similarity, 0.0)
-        self._similarity_sparse = None
 
     @property
     def is_sparse(self) -> bool:

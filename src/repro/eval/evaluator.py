@@ -23,6 +23,8 @@ from repro.datasets.merged import MergedDataset
 from repro.errors import EvaluationError
 from repro.eval.metrics import KPIReport, compute_kpis
 from repro.eval.split import DatasetSplit
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, start_span
 
 DEFAULT_CHUNK_SIZE = 256
 LATENCY_SAMPLE_USERS = 50
@@ -72,13 +74,26 @@ def fit_and_evaluate(
     ks: tuple[int, ...] = (20,),
     holdout: str = "test",
     measure_latency: bool = False,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> EvaluationResult:
-    """Fit ``model`` on the split's training matrix, then evaluate it."""
+    """Fit ``model`` on the split's training matrix, then evaluate it.
+
+    ``tracer``/``metrics`` are optional observability hooks: the fit is
+    wrapped in an ``eval.fit`` span and ``fit_seconds`` lands in an
+    ``eval.fit_seconds`` gauge; both forward into :func:`evaluate_model`.
+    """
     started = time.perf_counter()
-    model.fit(split.train, dataset)
+    with start_span(tracer, "eval.fit", model=model.name):
+        model.fit(split.train, dataset)
     fit_seconds = time.perf_counter() - started
+    if metrics is not None:
+        metrics.gauge("eval.fit_seconds").labels(model=model.name).set(
+            fit_seconds
+        )
     result = evaluate_model(
-        model, split, ks=ks, holdout=holdout, measure_latency=measure_latency
+        model, split, ks=ks, holdout=holdout,
+        measure_latency=measure_latency, tracer=tracer, metrics=metrics,
     )
     return EvaluationResult(
         model_name=result.model_name,
@@ -97,6 +112,8 @@ def evaluate_model(
     measure_latency: bool = False,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     rank_method: str = "count",
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> EvaluationResult:
     """Evaluate an already-fitted model.
 
@@ -105,6 +122,11 @@ def evaluate_model(
     search setting). ``rank_method`` picks the held-out rank computation
     (see :data:`RANK_METHODS`); the default counting path never sorts the
     full catalogue and is the serving-scale fast path.
+
+    ``tracer`` wraps the scoring pass in an ``eval.evaluate`` span with
+    one ``eval.chunk`` child per score chunk; ``metrics`` lands every KPI
+    in gauges labelled by model and k (``eval.urr``, ``eval.nrr``,
+    ``eval.precision``, ``eval.recall``, ``eval.first_rank``).
     """
     if not ks:
         raise EvaluationError("at least one k is required")
@@ -123,39 +145,53 @@ def evaluate_model(
     first_ranks = np.zeros(len(user_indices), dtype=np.int64)
     test_sizes = np.zeros(len(user_indices), dtype=np.int64)
 
-    for start in range(0, len(user_indices), chunk_size):
-        chunk = user_indices[start:start + chunk_size]
-        scores = model.masked_scores(chunk)
-        held_lists = [holdout_items[int(user)] for user in chunk]
-        if rank_method == "count":
-            counts = np.asarray([len(held) for held in held_lists], dtype=np.int64)
-            item_ranks = _ranks_by_counting(scores, held_lists)
-            group_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-            stop = start + len(chunk)
-            test_sizes[start:stop] = counts
-            first_ranks[start:stop] = np.minimum.reduceat(item_ranks, group_starts)
-            for k in ks:
-                hits[k][start:stop] = np.add.reduceat(
-                    (item_ranks <= k).astype(np.int64), group_starts
-                )
-            continue
-        # Reference path: rank_of[j] = 1-based rank of item j in this
-        # user's full ranking.
-        order = np.argsort(-scores, axis=1, kind="stable")
-        ranks = np.empty_like(order)
-        row_index = np.arange(order.shape[0])[:, None]
-        ranks[row_index, order] = np.arange(1, order.shape[1] + 1)
-        for offset, held_out in enumerate(held_lists):
-            item_ranks = ranks[offset, held_out]
-            position = start + offset
-            test_sizes[position] = len(held_out)
-            first_ranks[position] = item_ranks.min()
-            for k in ks:
-                hits[k][position] = int((item_ranks <= k).sum())
+    with start_span(
+        tracer, "eval.evaluate",
+        model=model.name, holdout=holdout, users=len(user_indices),
+        rank_method=rank_method,
+    ):
+        for start in range(0, len(user_indices), chunk_size):
+            chunk = user_indices[start:start + chunk_size]
+            with start_span(
+                tracer, "eval.chunk", start=start, users=len(chunk)
+            ):
+                scores = model.masked_scores(chunk)
+                held_lists = [holdout_items[int(user)] for user in chunk]
+                if rank_method == "count":
+                    counts = np.asarray(
+                        [len(held) for held in held_lists], dtype=np.int64
+                    )
+                    item_ranks = _ranks_by_counting(scores, held_lists)
+                    group_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                    stop = start + len(chunk)
+                    test_sizes[start:stop] = counts
+                    first_ranks[start:stop] = np.minimum.reduceat(
+                        item_ranks, group_starts
+                    )
+                    for k in ks:
+                        hits[k][start:stop] = np.add.reduceat(
+                            (item_ranks <= k).astype(np.int64), group_starts
+                        )
+                    continue
+                # Reference path: rank_of[j] = 1-based rank of item j in
+                # this user's full ranking.
+                order = np.argsort(-scores, axis=1, kind="stable")
+                ranks = np.empty_like(order)
+                row_index = np.arange(order.shape[0])[:, None]
+                ranks[row_index, order] = np.arange(1, order.shape[1] + 1)
+                for offset, held_out in enumerate(held_lists):
+                    item_ranks = ranks[offset, held_out]
+                    position = start + offset
+                    test_sizes[position] = len(held_out)
+                    first_ranks[position] = item_ranks.min()
+                    for k in ks:
+                        hits[k][position] = int((item_ranks <= k).sum())
 
     kpis = {
         k: compute_kpis(hits[k], test_sizes, first_ranks, k) for k in ks
     }
+    if metrics is not None:
+        _record_kpi_gauges(metrics, model.name, kpis, len(user_indices))
     per_user = PerUserOutcome(
         user_indices=user_indices,
         train_sizes=split.train_sizes(user_indices),
@@ -172,6 +208,23 @@ def evaluate_model(
         per_user=per_user,
         recommend_seconds_per_user=latency,
     )
+
+
+def _record_kpi_gauges(
+    metrics: MetricsRegistry,
+    model_name: str,
+    kpis: dict[int, KPIReport],
+    n_users: int,
+) -> None:
+    """Land every KPI in a gauge labelled by model and k."""
+    metrics.gauge("eval.users").labels(model=model_name).set(float(n_users))
+    for k, report in kpis.items():
+        labels = {"model": model_name, "k": str(k)}
+        metrics.gauge("eval.urr").labels(**labels).set(report.urr)
+        metrics.gauge("eval.nrr").labels(**labels).set(report.nrr)
+        metrics.gauge("eval.precision").labels(**labels).set(report.precision)
+        metrics.gauge("eval.recall").labels(**labels).set(report.recall)
+        metrics.gauge("eval.first_rank").labels(**labels).set(report.first_rank)
 
 
 def _ranks_by_counting(

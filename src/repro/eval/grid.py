@@ -15,6 +15,8 @@ from repro.datasets.merged import MergedDataset
 from repro.errors import EvaluationError
 from repro.eval.evaluator import fit_and_evaluate
 from repro.eval.split import DatasetSplit
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, start_span
 
 DEFAULT_FACTOR_GRID = (5, 10, 20, 40)
 DEFAULT_LEARNING_RATE_GRID = (0.05, 0.1, 0.2, 0.4)
@@ -52,32 +54,63 @@ def grid_search_bpr(
     factor_grid: tuple[int, ...] = DEFAULT_FACTOR_GRID,
     learning_rate_grid: tuple[float, ...] = DEFAULT_LEARNING_RATE_GRID,
     k: int = 20,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> GridSearchResult:
     """Sweep (n_factors, learning_rate), scoring URR@k on BCT validation.
 
     ``base_config`` supplies everything the grid does not vary (epochs,
-    sampler, seed, ...).
+    sampler, seed, ...). ``tracer``/``metrics`` thread into every cell's
+    :class:`BPR` and evaluation: the sweep is one ``grid.search`` span
+    with a ``grid.cell`` child per configuration, and each cell's
+    validation URR/NRR land in ``grid.val_urr``/``grid.val_nrr`` gauges
+    labelled by the cell coordinates.
     """
     if not factor_grid or not learning_rate_grid:
         raise EvaluationError("both grid axes need at least one value")
     base_config = base_config or BPRConfig()
     points: list[GridPoint] = []
-    for n_factors in factor_grid:
-        for learning_rate in learning_rate_grid:
-            config = replace(
-                base_config, n_factors=n_factors, learning_rate=learning_rate
-            )
-            result = fit_and_evaluate(
-                BPR(config), split, dataset, ks=(k,), holdout="val"
-            )
-            report = result.report(k)
-            points.append(
-                GridPoint(
+    with start_span(
+        tracer, "grid.search",
+        cells=len(factor_grid) * len(learning_rate_grid), k=k,
+    ):
+        for n_factors in factor_grid:
+            for learning_rate in learning_rate_grid:
+                config = replace(
+                    base_config,
                     n_factors=n_factors,
                     learning_rate=learning_rate,
-                    val_urr=report.urr,
-                    val_nrr=report.nrr,
                 )
-            )
+                with start_span(
+                    tracer, "grid.cell",
+                    n_factors=n_factors, learning_rate=learning_rate,
+                ) as span:
+                    result = fit_and_evaluate(
+                        BPR(config, tracer=tracer, metrics=metrics),
+                        split, dataset, ks=(k,), holdout="val",
+                        tracer=tracer, metrics=metrics,
+                    )
+                    report = result.report(k)
+                    span.set_attrs(val_urr=report.urr, val_nrr=report.nrr)
+                if metrics is not None:
+                    labels = {
+                        "n_factors": str(n_factors),
+                        "learning_rate": str(learning_rate),
+                    }
+                    metrics.counter("grid.cells").inc()
+                    metrics.gauge("grid.val_urr").labels(**labels).set(
+                        report.urr
+                    )
+                    metrics.gauge("grid.val_nrr").labels(**labels).set(
+                        report.nrr
+                    )
+                points.append(
+                    GridPoint(
+                        n_factors=n_factors,
+                        learning_rate=learning_rate,
+                        val_urr=report.urr,
+                        val_nrr=report.nrr,
+                    )
+                )
     best = max(points, key=lambda p: (p.val_urr, p.val_nrr))
     return GridSearchResult(points=tuple(points), best=best, k=k)

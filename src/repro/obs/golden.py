@@ -1,0 +1,106 @@
+"""Normalisation and comparison helpers for golden traces/snapshots.
+
+A fixed-seed deterministic demo run (see :mod:`repro.obs.demo`) is
+bit-reproducible in everything except *real* wall-clock measurements
+that leak in from un-injectable clocks (BPR's per-epoch ``seconds``,
+per-batch training timings). The goldens therefore compare a
+*normalised* view:
+
+- histogram series whose name ends in ``_seconds`` keep their
+  observation ``count`` (deterministic) but zero their ``sum`` and
+  per-bucket ``counts`` (timing-dependent);
+- gauge values for names ending in ``_seconds`` are zeroed;
+- everything else — counters, KPI gauges, span ids, span timing fields
+  driven by :class:`~repro.obs.trace.TickingClock` — is compared exactly
+  (floats to a relative tolerance, guarding against harmless
+  last-bit BLAS drift).
+"""
+
+from __future__ import annotations
+
+import math
+
+_TIMING_SUFFIX = "_seconds"
+
+
+def normalize_snapshot(snapshot: dict) -> dict:
+    """A copy of a registry snapshot with timing-valued fields zeroed."""
+    out = {
+        "counters": {
+            name: dict(entry)
+            for name, entry in snapshot.get("counters", {}).items()
+        },
+        "gauges": {},
+        "histograms": {},
+    }
+    for name, entry in snapshot.get("gauges", {}).items():
+        entry = dict(entry)
+        if name.endswith(_TIMING_SUFFIX):
+            entry["value"] = 0.0
+            if "labels" in entry:
+                entry["labels"] = {key: 0.0 for key in entry["labels"]}
+        out["gauges"][name] = entry
+    for name, entry in snapshot.get("histograms", {}).items():
+        out["histograms"][name] = _normalize_histogram(name, entry)
+    return out
+
+
+def _normalize_histogram(name: str, entry: dict) -> dict:
+    entry = dict(entry)
+    if name.endswith(_TIMING_SUFFIX):
+        entry["sum"] = 0.0
+        entry["counts"] = [0] * len(entry.get("counts", []))
+        if "labels" in entry:
+            entry["labels"] = {
+                key: _normalize_histogram(name, child)
+                for key, child in entry["labels"].items()
+            }
+    return entry
+
+
+def normalize_trace(spans: list[dict]) -> list[dict]:
+    """Span dicts with any ``*_seconds`` attributes zeroed.
+
+    Span ``start``/``end``/``cpu_seconds`` come from the injected
+    deterministic clocks and are kept exactly; only attributes that carry
+    real measured durations are scrubbed.
+    """
+    normalized = []
+    for span in spans:
+        span = dict(span)
+        attrs = dict(span.get("attrs", {}))
+        for key in attrs:
+            if key.endswith(_TIMING_SUFFIX):
+                attrs[key] = 0.0
+        span["attrs"] = attrs
+        normalized.append(span)
+    return normalized
+
+
+def assert_golden_equal(actual, expected, path: str = "$", rel: float = 1e-9):
+    """Recursive equality with relative float tolerance; raises
+    :class:`AssertionError` naming the first diverging path."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: {type(actual).__name__} != dict"
+        assert set(actual) == set(expected), (
+            f"{path}: keys {sorted(set(actual) ^ set(expected))} differ"
+        )
+        for key in expected:
+            assert_golden_equal(actual[key], expected[key], f"{path}.{key}", rel)
+        return
+    if isinstance(expected, (list, tuple)):
+        assert isinstance(actual, (list, tuple)), (
+            f"{path}: {type(actual).__name__} != list"
+        )
+        assert len(actual) == len(expected), (
+            f"{path}: length {len(actual)} != {len(expected)}"
+        )
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            assert_golden_equal(a, e, f"{path}[{index}]", rel)
+        return
+    if isinstance(expected, float) and isinstance(actual, (int, float)):
+        assert math.isclose(float(actual), expected, rel_tol=rel, abs_tol=rel), (
+            f"{path}: {actual!r} != {expected!r}"
+        )
+        return
+    assert actual == expected, f"{path}: {actual!r} != {expected!r}"

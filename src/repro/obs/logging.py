@@ -1,0 +1,100 @@
+"""Structured JSON logging with trace correlation.
+
+:func:`configure_logging` installs a single stream handler on the
+``repro`` logger hierarchy whose formatter emits one JSON object per
+record: timestamp, level, logger name, message, any ``extra`` fields, and
+— when a :class:`~repro.obs.trace.Tracer` span is active — the
+``trace_id``/``span_id`` of that span, so log lines and trace spans can
+be joined offline.
+
+The setup is idempotent (re-configuring replaces the previous obs
+handler instead of stacking a second one) and scoped: only the ``repro``
+logger is touched, never the root logger, so embedding applications keep
+their own logging configuration.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs.trace import active_ids
+
+#: Logger namespace this module configures.
+ROOT_LOGGER_NAME = "repro"
+
+#: ``logging.LogRecord`` attributes that are not user-supplied extras.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        "", 0, "", 0, "", (), None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """Format each record as one JSON object (sorted keys, one line)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id, span_id = active_ids()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+            payload["span_id"] = span_id
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["error"] = (
+                f"{record.exc_info[0].__name__}: {record.exc_info[1]}"
+            )
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = _jsonable(value)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _jsonable(value):
+    """Pass JSON-native values through; stringify everything else."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class _ObsHandler(logging.StreamHandler):
+    """Marker subclass so reconfiguration can find and replace itself."""
+
+
+def configure_logging(
+    level: int = logging.INFO,
+    stream: io.TextIOBase | None = None,
+) -> logging.Logger:
+    """Install JSON logging on the ``repro`` logger and return it.
+
+    Args:
+        level: threshold for the ``repro`` hierarchy.
+        stream: destination (default ``sys.stderr``); tests pass a
+            ``StringIO`` and parse the lines back with ``json.loads``.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if isinstance(handler, _ObsHandler):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = _ObsHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (``repro.<name>``)."""
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")

@@ -1,0 +1,382 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the service-side complement of the resilience layer added
+in PR 2: every degradation, cache outcome, breaker transition, pipeline
+quarantine, and latency observation lands in one process-wide-shareable
+:class:`MetricsRegistry` whose :meth:`~MetricsRegistry.snapshot` is a
+plain, deep-copied ``dict`` (JSON-serialisable, immutable with respect to
+later instrument updates).
+
+Three instrument kinds, Prometheus-style but in-process only:
+
+- :class:`Counter` — monotonically non-decreasing floats;
+- :class:`Gauge` — floats that move both ways;
+- :class:`Histogram` — fixed upper-bound buckets plus an optional bounded
+  *window* of raw observations for exact percentile reporting.
+
+Every instrument supports labelled children via :meth:`~Counter.labels`
+(``registry.counter("service.degraded").labels(source="static")``);
+children share the parent's name and appear in the snapshot under a
+canonical ``key=value`` label string.
+
+Invariants the property suite pins down (``tests/obs/test_metrics.py``):
+
+- a histogram's per-bucket counts always sum to its observation count;
+- snapshots are immutable copies — mutating one never changes the
+  registry, and two consecutive snapshots of an idle registry are equal;
+- counters reject negative increments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Default histogram buckets for request/stage latencies, in seconds.
+#: Geometric from 100 µs to ~10 s; observations above the last bound land
+#: in the implicit +inf overflow bucket.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default raw-observation window retained for exact percentiles.
+DEFAULT_WINDOW = 10_000
+
+
+def _label_key(labels: Mapping[str, str]) -> str:
+    """Canonical, order-independent string form of a label set."""
+    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+class _Instrument:
+    """Shared labelled-children machinery."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name:
+            raise ConfigurationError("instrument name must be non-empty")
+        self.name = name
+        self.help = help
+        self._children: dict[str, "_Instrument"] = {}
+
+    def labels(self, **labels: str):
+        """The child instrument for one label combination (created lazily)."""
+        if not labels:
+            raise ConfigurationError(
+                f"labels() on {self.name!r} needs at least one label"
+            )
+        key = _label_key({k: str(v) for k, v in labels.items()})
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self) -> "_Instrument":
+        raise NotImplementedError
+
+    def _reset(self) -> None:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically non-decreasing count."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _make_child(self) -> "Counter":
+        return Counter(self.name, self.help)
+
+    def _reset(self) -> None:
+        self._value = 0.0
+        for child in self._children.values():
+            child._reset()
+
+    def _snapshot(self) -> dict:
+        out: dict = {"value": self._value}
+        if self._children:
+            out["labels"] = {
+                key: child._value  # type: ignore[attr-defined]
+                for key, child in sorted(self._children.items())
+            }
+        return out
+
+
+class Gauge(_Instrument):
+    """A value that can move in both directions."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _make_child(self) -> "Gauge":
+        return Gauge(self.name, self.help)
+
+    def _reset(self) -> None:
+        self._value = 0.0
+        for child in self._children.values():
+            child._reset()
+
+    def _snapshot(self) -> dict:
+        out: dict = {"value": self._value}
+        if self._children:
+            out["labels"] = {
+                key: child._value  # type: ignore[attr-defined]
+                for key, child in sorted(self._children.items())
+            }
+        return out
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with an exact-percentile window.
+
+    ``buckets`` are strictly increasing finite upper bounds; an implicit
+    +inf overflow bucket catches everything above the last bound, so the
+    per-bucket counts always sum to the observation count.
+
+    ``window`` bounds a deque of the most recent raw observations used by
+    :meth:`percentile`; it is the single source of truth for latency
+    percentiles (``ServiceStats.percentile`` and ``health()`` both read
+    it, so the two can never disagree). ``window=0`` disables the raw
+    window and :meth:`percentile` falls back to a bucket-upper-bound
+    estimate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        window: int = DEFAULT_WINDOW,
+        help: str = "",
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} needs at least one bucket bound"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} bucket bounds must strictly increase"
+            )
+        if not all(np.isfinite(bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} bucket bounds must be finite "
+                "(the +inf overflow bucket is implicit)"
+            )
+        if window < 0:
+            raise ConfigurationError(
+                f"histogram {name!r} window must be >= 0, got {window}"
+            )
+        self.buckets = bounds
+        self.window_size = window
+        self._bounds = np.asarray(bounds, dtype=np.float64)
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._window: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = int(np.searchsorted(self._bounds, value, side="left"))
+        self._counts[index] += 1
+        self._sum += value
+        self._count += 1
+        if self.window_size:
+            self._window.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket (non-cumulative) counts; last entry is the overflow."""
+        return tuple(self._counts)
+
+    @property
+    def window(self) -> tuple[float, ...]:
+        """The retained raw observations, oldest first."""
+        return tuple(self._window)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) over the raw window.
+
+        Matches ``numpy.quantile``'s linear interpolation exactly. With
+        the window disabled (or empty), falls back to the smallest bucket
+        upper bound whose cumulative count covers ``q`` (the classic
+        Prometheus-style estimate), or 0.0 with no observations at all.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q}")
+        if self._window:
+            return float(np.quantile(np.asarray(self._window), q))
+        if not self._count:
+            return 0.0
+        target = q * self._count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(self._bounds):
+                    return float(self._bounds[index])
+                return float(self._bounds[-1])
+        return float(self._bounds[-1])
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(
+            self.name, self.buckets, window=self.window_size, help=self.help
+        )
+
+    def _reset(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._window.clear()
+        for child in self._children.values():
+            child._reset()
+
+    def _snapshot(self) -> dict:
+        out: dict = {
+            "buckets": list(self.buckets),
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": self._sum,
+        }
+        if self._children:
+            out["labels"] = {
+                key: child._snapshot()  # type: ignore[attr-defined]
+                for key, child in sorted(self._children.items())
+            }
+        return out
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named instruments.
+
+    Asking twice for the same name returns the same instrument; asking for
+    an existing name with a different kind raises
+    :class:`~repro.errors.ConfigurationError` (a counter cannot silently
+    become a gauge).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        window: int = DEFAULT_WINDOW,
+        help: str = "",
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, buckets=buckets, window=window, help=help
+        )
+
+    def _get_or_create(self, kind: type, name: str, **kwargs) -> _Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not kind:
+                raise ConfigurationError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"requested as {kind.__name__}"
+                )
+            return existing
+        instrument = kind(name, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._instruments))
+
+    def reset(self) -> None:
+        """Zero every instrument (labelled children included) in place."""
+        for instrument in self._instruments.values():
+            instrument._reset()
+
+    def snapshot(self) -> dict:
+        """A deep, JSON-serialisable copy of every instrument's state."""
+        counters: dict = {}
+        gauges: dict = {}
+        histograms: dict = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument._snapshot()
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument._snapshot()
+            else:
+                histograms[name] = instrument._snapshot()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def render(self) -> str:
+        """A human-readable dump of the registry (one line per series)."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        for name, entry in snap["counters"].items():
+            lines.append(f"counter    {name:<36} {entry['value']:g}")
+            for key, value in entry.get("labels", {}).items():
+                lines.append(f"counter    {name}{{{key}}} {value:g}")
+        for name, entry in snap["gauges"].items():
+            lines.append(f"gauge      {name:<36} {entry['value']:g}")
+            for key, value in entry.get("labels", {}).items():
+                lines.append(f"gauge      {name}{{{key}}} {value:g}")
+        for name, entry in snap["histograms"].items():
+            lines.append(
+                f"histogram  {name:<36} count={entry['count']} "
+                f"sum={entry['sum']:.6g}"
+            )
+        return "\n".join(lines)

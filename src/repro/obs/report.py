@@ -1,0 +1,99 @@
+"""Rendering traces into per-stage timing tables.
+
+Consumes either live :class:`~repro.obs.trace.Span` objects or the plain
+dicts read back from a JSONL trace file, groups them by span name, and
+renders the per-stage profile (calls, wall time, CPU time, share of the
+total) that ``scripts/trace_report.py`` and ``python -m repro metrics``
+print.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Aggregate timings of every span sharing one name."""
+
+    name: str
+    calls: int
+    wall_seconds: float
+    cpu_seconds: float
+    errors: int
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.wall_seconds / self.calls if self.calls else 0.0
+
+
+def load_trace_jsonl(path: str | Path) -> list[dict]:
+    """Read a JSONL trace back into span dicts (skipping blank lines)."""
+    path = Path(path)
+    spans = []
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            spans.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path}:{line_number} is not valid JSON: {exc}"
+            ) from exc
+    return spans
+
+
+def _as_dict(span) -> dict:
+    return span if isinstance(span, dict) else span.as_dict()
+
+
+def stage_profiles(spans) -> list[StageProfile]:
+    """Group spans by name, ordered by decreasing total wall time."""
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        record = _as_dict(span)
+        start = record.get("start") or 0.0
+        end = record.get("end") or start
+        entry = totals.setdefault(record["name"], [0, 0.0, 0.0, 0])
+        entry[0] += 1
+        entry[1] += max(end - start, 0.0)
+        entry[2] += record.get("cpu_seconds") or 0.0
+        entry[3] += 1 if record.get("status") == "error" else 0
+    profiles = [
+        StageProfile(
+            name=name, calls=int(calls), wall_seconds=wall,
+            cpu_seconds=cpu, errors=int(errors),
+        )
+        for name, (calls, wall, cpu, errors) in totals.items()
+    ]
+    profiles.sort(key=lambda p: (-p.wall_seconds, p.name))
+    return profiles
+
+
+def render_stage_table(spans) -> str:
+    """The per-stage timing table for a trace (human-readable)."""
+    profiles = stage_profiles(spans)
+    if not profiles:
+        return "trace is empty (no spans)"
+    # Only top-level wall time is a meaningful denominator, but a flat
+    # share-of-sum is still the standard quick read for nested traces.
+    total_wall = sum(p.wall_seconds for p in profiles) or 1.0
+    width = max(len(p.name) for p in profiles)
+    width = max(width, len("stage"))
+    lines = [
+        f"{'stage':<{width}}  {'calls':>6}  {'wall s':>10}  "
+        f"{'mean ms':>9}  {'cpu s':>9}  {'share':>6}  {'errors':>6}"
+    ]
+    for p in profiles:
+        lines.append(
+            f"{p.name:<{width}}  {p.calls:>6}  {p.wall_seconds:>10.4f}  "
+            f"{p.mean_seconds * 1e3:>9.3f}  {p.cpu_seconds:>9.4f}  "
+            f"{p.wall_seconds / total_wall:>6.1%}  {p.errors:>6}"
+        )
+    return "\n".join(lines)

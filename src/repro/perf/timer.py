@@ -25,10 +25,16 @@ class Timer:
 
     ``seconds`` reads the running elapsed time until the block exits, then
     freezes at the block's duration.
+
+    ``histogram`` optionally points at a
+    :class:`repro.obs.metrics.Histogram`; each completed block observes
+    its duration there, so bench timings flow into the same registry the
+    serving path uses.
     """
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(self, name: str = "", histogram=None) -> None:
         self.name = name
+        self.histogram = histogram
         self._started: float | None = None
         self._seconds: float | None = None
 
@@ -40,6 +46,8 @@ class Timer:
     def __exit__(self, *exc_info: object) -> None:
         assert self._started is not None
         self._seconds = time.perf_counter() - self._started
+        if self.histogram is not None:
+            self.histogram.observe(self._seconds)
 
     @property
     def seconds(self) -> float:

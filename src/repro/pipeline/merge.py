@@ -29,6 +29,8 @@ from repro.datasets.models import (
     match_key,
 )
 from repro.errors import PipelineError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, start_span
 from repro.pipeline.cleaning import (
     CleaningReport,
     QuarantineReport,
@@ -124,6 +126,8 @@ def build_merged_dataset(
     anobii: AnobiiDataset,
     config: MergeConfig | None = None,
     strict: bool = False,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> tuple[MergedDataset, MergeReport]:
     """Run the full merge pipeline; see the module docstring.
 
@@ -132,42 +136,89 @@ def build_merged_dataset(
     ``report.quarantine`` with row context — before the paper's cleaning
     filters run. ``strict=True`` raises :class:`PipelineError` on the
     first malformed dump instead.
+
+    ``tracer``/``metrics`` are optional observability hooks: each stage
+    (quarantine, cleaning, genre entropy-merge, catalogue match, readings
+    union, activity filter) runs in its own span under ``pipeline.merge``,
+    and quarantined rows are counted per source table and reason in the
+    ``pipeline.quarantined_rows`` counter.
     """
     config = config or MergeConfig()
-    bct, bct_quarantine = quarantine_bct(bct, strict=strict)
-    anobii, anobii_quarantine = quarantine_anobii(anobii, strict=strict)
-    quarantine = bct_quarantine.extend(anobii_quarantine)
-    cleaned_bct, bct_report = clean_bct(bct)
-    cleaned_anobii, anobii_report = clean_anobii(anobii, config.min_rating)
+    with start_span(tracer, "pipeline.merge"):
+        with start_span(tracer, "pipeline.quarantine") as span:
+            bct, bct_quarantine = quarantine_bct(bct, strict=strict)
+            anobii, anobii_quarantine = quarantine_anobii(anobii, strict=strict)
+            quarantine = bct_quarantine.extend(anobii_quarantine)
+            span.set_attrs(quarantined_rows=quarantine.n_rows)
+        if metrics is not None:
+            counter = metrics.counter("pipeline.quarantined_rows")
+            for (table, reason), count in sorted(quarantine.counts().items()):
+                counter.labels(table=table, reason=reason).inc(count)
+        with start_span(tracer, "pipeline.cleaning") as span:
+            cleaned_bct, bct_report = clean_bct(bct)
+            cleaned_anobii, anobii_report = clean_anobii(
+                anobii, config.min_rating
+            )
+            span.set_attrs(
+                bct_loans=cleaned_bct.loans.num_rows,
+                anobii_ratings=cleaned_anobii.ratings.num_rows,
+            )
 
-    genre_model = build_genre_model(
-        cleaned_anobii.items,
-        max_book_share=config.genre_max_book_share,
-        min_books=config.genre_min_books,
-        min_affinity=config.genre_min_affinity,
-    )
+        with start_span(tracer, "pipeline.genres") as span:
+            genre_model = build_genre_model(
+                cleaned_anobii.items,
+                max_book_share=config.genre_max_book_share,
+                min_books=config.genre_min_books,
+                min_affinity=config.genre_min_affinity,
+            )
+            span.set_attrs(
+                canonical_genres=len(set(genre_model.canonical_of.values())),
+                dropped_genres=len(genre_model.dropped_genres),
+            )
 
-    item_of_book, unmatched_bct, unmatched_anobii = _match_catalogues(
-        cleaned_bct.books, cleaned_anobii.items
-    )
-    books = _merged_books(cleaned_bct.books, cleaned_anobii.items, item_of_book)
-    readings = _build_readings(
-        cleaned_bct, cleaned_anobii, item_of_book, config.min_loan_days
-    )
+        with start_span(tracer, "pipeline.match") as span:
+            item_of_book, unmatched_bct, unmatched_anobii = _match_catalogues(
+                cleaned_bct.books, cleaned_anobii.items
+            )
+            books = _merged_books(
+                cleaned_bct.books, cleaned_anobii.items, item_of_book
+            )
+            span.set_attrs(
+                matched_books=len(item_of_book),
+                bct_only=unmatched_bct,
+                anobii_only=unmatched_anobii,
+            )
+        with start_span(tracer, "pipeline.readings") as span:
+            readings = _build_readings(
+                cleaned_bct, cleaned_anobii, item_of_book, config.min_loan_days
+            )
+            span.set_attrs(readings=readings.num_rows)
 
-    users_before = len(set(readings["user_id"].tolist()))
-    books_before = len(set(readings["book_id"].tolist()))
-    readings_before = readings.num_rows
+        users_before = len(set(readings["user_id"].tolist()))
+        books_before = len(set(readings["book_id"].tolist()))
+        readings_before = readings.num_rows
 
-    readings = _apply_activity_filters(readings, config)
-    kept_books = set(readings["book_id"].tolist())
-    books = books.filter(
-        np.asarray([b in kept_books for b in books["book_id"]], dtype=bool)
-    )
-    genres_table = _genre_table(genre_model, item_of_book, kept_books)
+        with start_span(tracer, "pipeline.activity_filter") as span:
+            readings = _apply_activity_filters(readings, config)
+            kept_books = set(readings["book_id"].tolist())
+            books = books.filter(
+                np.asarray(
+                    [b in kept_books for b in books["book_id"]], dtype=bool
+                )
+            )
+            genres_table = _genre_table(genre_model, item_of_book, kept_books)
+            span.set_attrs(
+                readings_before=readings_before,
+                readings_after=readings.num_rows,
+            )
 
-    merged = MergedDataset(books=books, readings=readings, genres=genres_table)
-    merged.validate()
+        merged = MergedDataset(
+            books=books, readings=readings, genres=genres_table
+        )
+        merged.validate()
+    if metrics is not None:
+        metrics.gauge("pipeline.readings").set(float(readings.num_rows))
+        metrics.gauge("pipeline.books").set(float(books.num_rows))
     report = MergeReport(
         cleaning=(bct_report, anobii_report),
         matched_books=len(item_of_book),

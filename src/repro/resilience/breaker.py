@@ -42,6 +42,10 @@ class CircuitBreaker:
         cooldown_seconds: how long the breaker stays open before probing.
         successes_to_close: consecutive half-open successes needed to close.
         clock: injectable monotonic clock.
+        on_transition: optional ``callback(old_state, new_state)`` invoked
+            on every state change (the observability layer wires this to a
+            transition counter and a state gauge). Exceptions are not
+            caught: the callback must be infallible.
     """
 
     def __init__(
@@ -52,6 +56,7 @@ class CircuitBreaker:
         cooldown_seconds: float = 30.0,
         successes_to_close: int = 1,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: "Callable[[str, str], None] | None" = None,
     ) -> None:
         if not 0.0 < failure_threshold <= 1.0:
             raise ConfigurationError(
@@ -70,6 +75,7 @@ class CircuitBreaker:
         self.cooldown_seconds = cooldown_seconds
         self.successes_to_close = successes_to_close
         self._clock = clock
+        self.on_transition = on_transition
         self._outcomes: deque[bool] = deque(maxlen=window)
         self._state = STATE_CLOSED
         self._opened_at = 0.0
@@ -145,15 +151,19 @@ class CircuitBreaker:
     # ------------------------------------------------------------------
 
     def _open(self) -> None:
+        previous = self._state
         self._state = STATE_OPEN
         self._opened_at = self._clock()
         self._half_open_successes = 0
         self.opened_count += 1
+        self._notify(previous, STATE_OPEN)
 
     def _close(self) -> None:
+        previous = self._state
         self._state = STATE_CLOSED
         self._outcomes.clear()
         self._half_open_successes = 0
+        self._notify(previous, STATE_CLOSED)
 
     def _maybe_half_open(self) -> None:
         if (
@@ -162,3 +172,8 @@ class CircuitBreaker:
         ):
             self._state = STATE_HALF_OPEN
             self._half_open_successes = 0
+            self._notify(STATE_OPEN, STATE_HALF_OPEN)
+
+    def _notify(self, old: str, new: str) -> None:
+        if self.on_transition is not None and old != new:
+            self.on_transition(old, new)

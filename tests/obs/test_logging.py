@@ -1,0 +1,112 @@
+"""Capture tests for the structured JSON logging setup.
+
+Every emitted line must parse back with ``json.loads``, carry the active
+span's trace/span ids, and reconfiguration must replace (not stack) the
+handler while leaving the root logger untouched.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs.logging import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.trace import TickingClock, Tracer
+
+
+def capture_logger():
+    stream = io.StringIO()
+    logger = configure_logging(level=logging.DEBUG, stream=stream)
+    return logger, stream
+
+
+def parse_lines(stream: io.StringIO) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+        if line.strip()
+    ]
+
+
+class TestJsonRoundTrip:
+    def test_every_record_is_one_parsable_json_line(self):
+        logger, stream = capture_logger()
+        logger.info("plain message")
+        logger.warning("another %s", "message")
+        records = parse_lines(stream)
+        assert [r["message"] for r in records] == [
+            "plain message", "another message"
+        ]
+        assert [r["level"] for r in records] == ["INFO", "WARNING"]
+        assert all(r["logger"] == ROOT_LOGGER_NAME for r in records)
+        assert all(isinstance(r["ts"], float) for r in records)
+
+    def test_extra_fields_survive_and_non_json_values_stringify(self):
+        logger, stream = capture_logger()
+        logger.info(
+            "with extras",
+            extra={"user_id": "u1", "k": 5, "payload": {1: object()}},
+        )
+        (record,) = parse_lines(stream)
+        assert record["user_id"] == "u1"
+        assert record["k"] == 5
+        assert isinstance(record["payload"]["1"], str)
+
+    def test_exception_info_lands_in_error_field(self):
+        logger, stream = capture_logger()
+        try:
+            raise ValueError("broken")
+        except ValueError:
+            logger.exception("operation failed")
+        (record,) = parse_lines(stream)
+        assert record["error"] == "ValueError: broken"
+        assert record["level"] == "ERROR"
+
+
+class TestTraceCorrelation:
+    def test_records_inside_a_span_carry_its_ids(self):
+        logger, stream = capture_logger()
+        tracer = Tracer(
+            seed=3, clock=TickingClock(), cpu_clock=TickingClock()
+        )
+        logger.info("outside")
+        with tracer.span("outer") as outer:
+            logger.info("in outer")
+            with tracer.span("inner") as inner:
+                logger.info("in inner")
+        logger.info("after")
+        records = parse_lines(stream)
+        assert "trace_id" not in records[0]
+        assert records[1]["trace_id"] == outer.trace_id
+        assert records[1]["span_id"] == outer.span_id
+        assert records[2]["span_id"] == inner.span_id
+        assert records[2]["trace_id"] == outer.trace_id
+        assert "trace_id" not in records[3]
+
+
+class TestConfiguration:
+    def test_reconfigure_replaces_rather_than_stacks_handlers(self):
+        _, first_stream = capture_logger()
+        logger, second_stream = capture_logger()
+        logger.info("only once")
+        assert first_stream.getvalue() == ""
+        assert len(parse_lines(second_stream)) == 1
+
+    def test_child_loggers_flow_through_the_repro_handler(self):
+        logger, stream = capture_logger()
+        child = get_logger("pipeline")
+        child.info("from the child")
+        (record,) = parse_lines(stream)
+        assert record["logger"] == f"{ROOT_LOGGER_NAME}.pipeline"
+
+    def test_root_logger_is_untouched_and_propagation_is_off(self):
+        logger, _ = capture_logger()
+        assert logger.propagate is False
+        root_handlers_before = list(logging.getLogger().handlers)
+        configure_logging(stream=io.StringIO())
+        assert list(logging.getLogger().handlers) == root_handlers_before

@@ -105,3 +105,45 @@ class TestHealth:
         capsys.readouterr()
         assert main(["health", str(target)]) == 0
         assert "status: ok" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_writes_snapshot_and_trace(self, tmp_path, capsys):
+        snapshot_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "metrics", str(snapshot_path),
+            "--trace", str(trace_path), "--deterministic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot written" in out
+        assert "stage" in out  # the per-stage timing table header
+        assert "service health: ok" in out
+
+        import json
+
+        snapshot = json.loads(snapshot_path.read_text())
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert "service.requests" in snapshot["counters"]
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["span_id"] for line in lines)
+
+    def test_snapshot_only(self, tmp_path, capsys):
+        snapshot_path = tmp_path / "metrics.json"
+        assert main(["metrics", str(snapshot_path), "--deterministic"]) == 0
+        assert snapshot_path.exists()
+        assert "trace" not in capsys.readouterr().out.lower()
+
+    def test_deterministic_runs_write_identical_snapshots(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(["metrics", str(first), "--deterministic"]) == 0
+        assert main(["metrics", str(second), "--deterministic"]) == 0
+        from repro.obs.golden import assert_golden_equal, normalize_snapshot
+        import json
+
+        assert_golden_equal(
+            normalize_snapshot(json.loads(first.read_text())),
+            normalize_snapshot(json.loads(second.read_text())),
+        )

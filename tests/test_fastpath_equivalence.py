@@ -16,7 +16,10 @@ from repro.app.service import RecommendationRequest, RecommendationService
 from repro.core.base import Recommender
 from repro.core.closest_items import ClosestItems
 from repro.core.interactions import InteractionMatrix
+from repro.errors import EvaluationError
 from repro.eval.evaluator import _ranks_by_counting, evaluate_model
+from repro.eval.metrics import compute_kpis
+from repro.eval.split import DatasetSplit
 
 
 class FixedScores(Recommender):
@@ -47,6 +50,26 @@ def _train_matrix(seed, n_users=25, n_items=160):
         history = rng.choice(n_items, size=int(rng.integers(1, 30)), replace=False)
         pairs.extend((f"u{user:03d}", int(item)) for item in history)
     return InteractionMatrix.from_pairs(pairs)
+
+
+def _fake_split(train, seed):
+    """A DatasetSplit over ``train`` with random unseen held-out items."""
+    rng = np.random.default_rng(seed + 1)
+    test_items = {}
+    for user in range(train.n_users):
+        unseen = np.setdiff1d(
+            np.arange(train.n_items), train.user_items(user)
+        )
+        held = rng.choice(
+            unseen, size=int(rng.integers(1, 6)), replace=False
+        )
+        test_items[int(user)] = np.asarray(sorted(held), dtype=np.int64)
+    return DatasetSplit(
+        train=train,
+        val_items={},
+        test_items=test_items,
+        bct_user_indices=np.arange(train.n_users, dtype=np.int64),
+    )
 
 
 class TestMaskingEquivalence:
@@ -244,3 +267,107 @@ class TestServingEquivalence:
         batched = batch_service.recommend_many(requests)
         singles = [single_service.recommend(r) for r in requests]
         assert batched == singles
+
+
+# ----------------------------------------------------------------------
+# KPI properties (eval/metrics.py): bounds, invariances, rank-method
+# agreement — the aggregate layer the fast paths feed into.
+# ----------------------------------------------------------------------
+
+per_user_arrays = st.integers(min_value=1, max_value=40).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.integers(min_value=1, max_value=30), min_size=n, max_size=n
+        ),
+        st.lists(
+            st.integers(min_value=1, max_value=500), min_size=n, max_size=n
+        ),
+        st.integers(min_value=1, max_value=50),
+    )
+)
+
+
+class TestKpiProperties:
+    @settings(deadline=None, max_examples=100)
+    @given(arrays=per_user_arrays)
+    def test_ratio_kpis_are_bounded_and_fr_at_least_one(self, arrays):
+        test_sizes, first_ranks, k = arrays
+        rng = np.random.default_rng(sum(test_sizes))
+        # hits can never exceed min(|T_u|, k) for any user.
+        hits = np.asarray(
+            [int(rng.integers(0, min(size, k) + 1)) for size in test_sizes]
+        )
+        report = compute_kpis(
+            hits, np.asarray(test_sizes), np.asarray(first_ranks), k
+        )
+        assert 0.0 <= report.urr <= 1.0
+        assert 0.0 <= report.precision <= 1.0
+        assert 0.0 <= report.recall <= 1.0
+        assert report.nrr >= 0.0
+        assert report.nrr <= min(max(test_sizes), k)
+        assert report.first_rank >= 1.0
+
+    @settings(deadline=None, max_examples=100)
+    @given(arrays=per_user_arrays, seed=st.integers(0, 2**16))
+    def test_kpis_are_invariant_under_user_permutation(self, arrays, seed):
+        test_sizes, first_ranks, k = arrays
+        rng = np.random.default_rng(seed)
+        hits = np.asarray(
+            [int(rng.integers(0, min(size, k) + 1)) for size in test_sizes]
+        )
+        test_sizes = np.asarray(test_sizes)
+        first_ranks = np.asarray(first_ranks)
+        order = rng.permutation(len(hits))
+        original = compute_kpis(hits, test_sizes, first_ranks, k)
+        permuted = compute_kpis(
+            hits[order], test_sizes[order], first_ranks[order], k
+        )
+        # Mean-of-floats is permutation-invariant only up to summation
+        # order, so compare to a tight relative tolerance.
+        assert permuted.as_row() == pytest.approx(
+            original.as_row(), rel=1e-12
+        )
+
+    @settings(deadline=None, max_examples=50)
+    @given(n_users=st.integers(2, 10))
+    def test_perfect_and_empty_recommendations_hit_the_bounds(self, n_users):
+        k = 10
+        test_sizes = np.full(n_users, k)
+        perfect = compute_kpis(
+            np.full(n_users, k), test_sizes, np.ones(n_users), k
+        )
+        assert perfect.urr == perfect.precision == perfect.recall == 1.0
+        assert perfect.nrr == float(k)
+        assert perfect.first_rank == 1.0
+        empty = compute_kpis(
+            np.zeros(n_users), test_sizes, np.full(n_users, 100), k
+        )
+        assert empty.urr == empty.precision == empty.recall == empty.nrr == 0.0
+
+    def test_degenerate_inputs_raise(self):
+        with pytest.raises(EvaluationError):
+            compute_kpis(np.asarray([]), np.asarray([]), np.asarray([]), 5)
+        with pytest.raises(EvaluationError):
+            compute_kpis(
+                np.asarray([1]), np.asarray([0]), np.asarray([1]), 5
+            )
+        with pytest.raises(EvaluationError):
+            compute_kpis(
+                np.asarray([1, 2]), np.asarray([3]), np.asarray([1]), 5
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rank_only_kpis_match_argsort_on_tied_matrices(self, seed):
+        train = _train_matrix(seed)
+        model = FixedScores(_tied_matrix(seed)).fit(train)
+        split = _fake_split(train, seed)
+        counted = evaluate_model(
+            model, split, ks=(5, 20), rank_method="count"
+        )
+        argsorted = evaluate_model(
+            model, split, ks=(5, 20), rank_method="argsort"
+        )
+        assert counted.kpis == argsorted.kpis
+        assert np.array_equal(
+            counted.per_user.first_ranks, argsorted.per_user.first_ranks
+        )
