@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the growth-layer packages.
+
+Walks the packages named in :data:`CHECKED_PACKAGES` with ``ast`` (no
+imports, so it is fast and side-effect free) and requires a docstring
+on:
+
+- every module,
+- every public class,
+- every public function and public method.
+
+"Public" means the name does not start with ``_`` and is not inside a
+private class; ``__init__`` and friends are exempt (the class docstring
+documents construction — argparse-style), as are ``@overload`` stubs.
+CI runs this so new public surface in the parallel, observability, and
+resilience layers cannot land undocumented.
+
+Usage::
+
+    python scripts/check_docstrings.py [src-root]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Packages (relative to ``src/``) whose public API must be documented.
+CHECKED_PACKAGES = (
+    "repro/parallel",
+    "repro/obs",
+    "repro/resilience",
+)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _has_docstring(node: ast.AST) -> bool:
+    return ast.get_docstring(node, clean=False) is not None
+
+
+def _missing_in_scope(
+    node: ast.AST, scope: str, public_scope: bool
+) -> list[tuple[int, str]]:
+    """``(line, qualified name)`` for every undocumented public def."""
+    missing: list[tuple[int, str]] = []
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not public_scope or not _is_public(child.name):
+                continue
+            qualified = f"{scope}{child.name}"
+            if not _has_docstring(child):
+                missing.append((child.lineno, f"function {qualified}"))
+        elif isinstance(child, ast.ClassDef):
+            class_public = public_scope and _is_public(child.name)
+            qualified = f"{scope}{child.name}"
+            if class_public and not _has_docstring(child):
+                missing.append((child.lineno, f"class {qualified}"))
+            missing.extend(
+                _missing_in_scope(child, f"{qualified}.", class_public)
+            )
+    return missing
+
+
+def missing_docstrings(path: Path) -> list[tuple[int, str]]:
+    """All undocumented public definitions in one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    missing = []
+    if not _has_docstring(tree):
+        missing.append((1, "module"))
+    missing.extend(_missing_in_scope(tree, "", True))
+    return missing
+
+
+def check_packages(src_root: Path) -> list[str]:
+    """Failure lines for every undocumented definition under the gate."""
+    failures = []
+    for package in CHECKED_PACKAGES:
+        package_root = src_root / package
+        if not package_root.is_dir():
+            failures.append(f"{package}: package directory missing")
+            continue
+        for path in sorted(package_root.rglob("*.py")):
+            for line, what in missing_docstrings(path):
+                failures.append(
+                    f"{path.relative_to(src_root)}:{line}: "
+                    f"missing docstring on {what}"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    src_root = (
+        Path(argv[0]).resolve()
+        if argv
+        else Path(__file__).resolve().parent.parent / "src"
+    )
+    failures = check_packages(src_root)
+    if failures:
+        print(f"{len(failures)} undocumented public definition(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(
+        "docstring check: public API of "
+        + ", ".join(CHECKED_PACKAGES)
+        + " is fully documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

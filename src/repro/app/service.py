@@ -38,6 +38,7 @@ request and per batch.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field, replace
@@ -148,6 +149,12 @@ class ServiceStats:
     requests per ``served_by`` source; ``errors`` counts underlying
     failures (which can exceed degradations when retries or multiple
     chain links fail for one request).
+
+    Thread safety: every mutation (:meth:`record`, :meth:`note_cache`,
+    :meth:`note_error`, :meth:`note_degraded`) runs under one lock, and
+    the shared histogram carries its own, so concurrent serving threads
+    never lose an increment — the concurrency suite asserts exact
+    counts under contention.
     """
 
     requests: int = 0
@@ -171,6 +178,7 @@ class ServiceStats:
             self.histogram = Histogram(
                 "service.latency_seconds", window=self.latency_window
             )
+        self._lock = threading.Lock()
 
     @property
     def latencies(self) -> tuple[float, ...]:
@@ -198,20 +206,39 @@ class ServiceStats:
     def record(self, elapsed: float, requests: int = 1) -> None:
         """Account ``requests`` requests served in ``elapsed`` seconds."""
         assert self.histogram is not None
-        self.requests += requests
-        self.total_seconds += elapsed
+        with self._lock:
+            self.requests += requests
+            self.total_seconds += elapsed
         per_request = elapsed / requests if requests else 0.0
         for _ in range(requests):
             self.histogram.observe(per_request)
 
+    def note_cache(self, hit: bool) -> None:
+        """Account one cache lookup (``hit=True``) or miss."""
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
     def note_error(self, error: BaseException | str) -> None:
-        self.errors += 1
+        """Account one underlying failure, remembering its description."""
         if isinstance(error, BaseException):
             error = f"{type(error).__name__}: {error}"
-        self.last_error = error
+        with self._lock:
+            self.errors += 1
+            self.last_error = error
 
-    def note_degraded(self, served_by: str) -> None:
-        self.degradations[served_by] += 1
+    def note_degraded(self, served_by: str, error: str | None = None) -> None:
+        """Account one fallback-served request by its chain link.
+
+        ``error`` (when given) becomes ``last_error`` only if no earlier
+        failure was recorded — the first cause is the interesting one.
+        """
+        with self._lock:
+            self.degradations[served_by] += 1
+            if error is not None and self.last_error is None:
+                self.last_error = error
 
 
 class RecommendationService:
@@ -251,6 +278,16 @@ class RecommendationService:
             ``service.*`` series always exist.
         tracer: optional :class:`~repro.obs.trace.Tracer`; when set, each
             cache-missed request and each batch gets a span.
+
+    Thread safety: one service instance may be shared by any number of
+    request threads (``scripts/loadgen.py`` drives exactly that). The
+    LRU cache and model swap are guarded by a service lock with short
+    critical sections — the lock is *never* held across model scoring,
+    so cache bookkeeping cannot serialise the actual recommendation
+    work. Stats, metrics instruments, and the circuit breaker each
+    carry their own locks. :meth:`refresh_model` is atomic with respect
+    to concurrent requests: a request observes either the old or the
+    new (model, cache) pair, never a mixture.
     """
 
     def __init__(
@@ -326,6 +363,7 @@ class RecommendationService:
         self._clock = clock
         self._retry_sleep = retry_sleep
         self._model_loaded_at = clock()
+        self._lock = threading.RLock()
         self._cache: OrderedDict[tuple[str, int], ServedResponse] = OrderedDict()
         # The last chain link: a static popularity order over the training
         # counts, available even when every model object misbehaves.
@@ -347,11 +385,14 @@ class RecommendationService:
 
     @property
     def cached_entries(self) -> int:
-        return len(self._cache)
+        """How many served lists the LRU cache currently holds."""
+        with self._lock:
+            return len(self._cache)
 
     def invalidate_cache(self) -> None:
         """Drop every cached top-k list (e.g. after retraining)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def refresh_model(
         self,
@@ -363,7 +404,9 @@ class RecommendationService:
 
         Cached lists are only valid for the model that produced them, so
         any refresh clears the cache explicitly; the breaker is reset
-        because its failure history belongs to the previous model.
+        because its failure history belongs to the previous model. The
+        swap happens under the service lock, so a concurrent request
+        sees either the old or the new (model, cache) pair.
         """
         if not model.is_fitted:
             raise ConfigurationError(
@@ -373,32 +416,35 @@ class RecommendationService:
             raise ConfigurationError(
                 "the cold-start fallback must be fitted before serving"
             )
-        self.model = model
-        if train is not None:
-            self.train = train
-            counts = train.item_counts().astype(np.float64)
-            self._static_order = np.argsort(-counts, kind="stable")
-        if cold_start_fallback is not None:
-            self.cold_start_fallback = cold_start_fallback
-        self.breaker.reset()
-        self._model_loaded_at = self._clock()
-        self.invalidate_cache()
+        with self._lock:
+            self.model = model
+            if train is not None:
+                self.train = train
+                counts = train.item_counts().astype(np.float64)
+                self._static_order = np.argsort(-counts, kind="stable")
+            if cold_start_fallback is not None:
+                self.cold_start_fallback = cold_start_fallback
+            self.breaker.reset()
+            self._model_loaded_at = self._clock()
+            self._cache.clear()
 
     def _cache_get(self, key: tuple[str, int]) -> ServedResponse | None:
         if not self.cache_size:
             return None
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-        return cached
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+            return cached
 
     def _cache_put(self, key: tuple[str, int], response: ServedResponse) -> None:
         if not self.cache_size or response.degraded or response.error:
             return
-        self._cache[key] = response
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[key] = response
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
 
     # ------------------------------------------------------------------
     # request paths
@@ -425,12 +471,12 @@ class RecommendationService:
         key = (request.user_id, request.k)
         cached = self._cache_get(key)
         if cached is not None:
-            self.stats.cache_hits += 1
+            self.stats.note_cache(hit=True)
             self._m_cache.labels(outcome="hit").inc()
             self._m_served.labels(source=cached.served_by).inc()
             self.stats.record(self._clock() - started)
             return replace(cached, from_cache=True)
-        self.stats.cache_misses += 1
+        self.stats.note_cache(hit=False)
         self._m_cache.labels(outcome="miss").inc()
         with start_span(
             self.tracer, "service.request", user_id=request.user_id,
@@ -488,12 +534,12 @@ class RecommendationService:
             key = (request.user_id, request.k)
             cached = self._cache_get(key)
             if cached is not None:
-                self.stats.cache_hits += 1
+                self.stats.note_cache(hit=True)
                 self._m_cache.labels(outcome="hit").inc()
                 self._m_served.labels(source=cached.served_by).inc()
                 results[position] = replace(cached, from_cache=True)
                 continue
-            self.stats.cache_misses += 1
+            self.stats.note_cache(hit=False)
             self._m_cache.labels(outcome="miss").inc()
             if self.known_user(request.user_id) and self.breaker.allow():
                 user_index = int(self.train.users.index_of(request.user_id))
@@ -766,12 +812,11 @@ class RecommendationService:
         self._m_breaker_transitions.labels(to=new).inc()
 
     def _account(self, response: ServedResponse) -> None:
+        """Mirror one resolved response into stats and metrics."""
         self._m_served.labels(source=response.served_by).inc()
         if response.degraded:
-            self.stats.note_degraded(response.served_by)
+            self.stats.note_degraded(response.served_by, error=response.error)
             self._m_degraded.labels(source=response.served_by).inc()
-            if response.error and self.stats.last_error is None:
-                self.stats.last_error = response.error
 
     def _serve_books(self, items: np.ndarray, k: int) -> list[ServedBook]:
         served = []

@@ -20,6 +20,12 @@ Commands:
   optionally export the span trace (``--trace out.jsonl``) plus a
   per-stage timing table. ``--deterministic`` pins the tracer/service
   clocks so the output is bit-reproducible (the golden-test setting).
+- ``bench-parallel`` — run the serial-vs-parallel bench (grid search,
+  embedding, merge pipeline) and write ``BENCH_parallel.json``.
+
+The global ``--jobs N`` flag parallelises the merge pipeline and the
+grid search across N worker processes; results are bit-identical to
+``--jobs 1`` (see ``docs/determinism.md``).
 """
 
 from __future__ import annotations
@@ -33,6 +39,25 @@ from repro.experiments.config import config_for_scale
 from repro.experiments.registry import available_experiments, run_experiment
 
 
+#: Shown under ``python -m repro --help`` so every subcommand is
+#: discoverable from the top level (argparse otherwise hides them behind
+#: ``<command> --help``). Keep in sync with the subparsers below — the
+#: CLI test asserts each registered command appears here.
+EPILOG = """\
+commands:
+  experiment <name>   run one paper experiment (table1, fig3, ...)
+  suite               run every experiment at one scale
+  generate <dir>      build + merge the synthetic sources, save as CSV
+  serve-demo          fit BPR and answer sample requests
+  bench               fast-path perf bench -> BENCH_fastpath.json
+  bench-parallel      serial-vs-parallel bench -> BENCH_parallel.json
+  health <path>       verify artefact checksum manifests (exit 1 = corrupt)
+  metrics <path>      instrumented demo -> metrics snapshot JSON
+
+run `python -m repro <command> --help` for per-command options.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -40,6 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Recommendation Systems in Libraries' "
             "(EDBT 2023)"
         ),
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--scale", choices=("small", "default", "paper"), default="default",
@@ -47,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="world seed override"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the merge pipeline and grid search "
+        "(default: 1 = serial; -1 = all CPUs; results are bit-identical "
+        "for every value)",
     )
     parser.add_argument(
         "--output", default=None, metavar="DIR",
@@ -78,6 +111,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="best-of repeats per kernel (default: 5)",
     )
     bench.add_argument(
+        "--quick", action="store_true",
+        help="small dataset for smoke runs (not representative)",
+    )
+
+    bench_parallel = sub.add_parser(
+        "bench-parallel",
+        help="run the serial-vs-parallel bench and write JSON",
+    )
+    bench_parallel.add_argument(
+        "--bench-output", default=None, metavar="PATH",
+        help="where to write the bench JSON (default: BENCH_parallel.json)",
+    )
+    bench_parallel.add_argument(
+        "--repeats", type=int, default=None,
+        help="best-of repeats per measurement (default: 5)",
+    )
+    bench_parallel.add_argument(
         "--quick", action="store_true",
         help="small dataset for smoke runs (not representative)",
     )
@@ -114,7 +164,9 @@ def main(argv: list[str] | None = None) -> int:
         return _health(args.target)
     if args.command == "metrics":
         return _metrics(args)
-    config = config_for_scale(args.scale, seed=args.seed)
+    if args.command == "bench-parallel":
+        return _bench_parallel(args)
+    config = config_for_scale(args.scale, seed=args.seed, n_jobs=args.jobs)
     context = ExperimentContext(config)
     if args.command == "experiment":
         result = run_experiment(args.name, context)
@@ -289,6 +341,54 @@ def _bench(args: argparse.Namespace) -> None:
         config, output_path=args.bench_output or DEFAULT_OUTPUT
     )
     print(render_bench_report(report))
+
+
+def _bench_parallel(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.parallel.bench import (
+        DEFAULT_OUTPUT,
+        ParallelBenchConfig,
+        run_parallel_bench,
+    )
+
+    config = ParallelBenchConfig()
+    if args.quick:
+        config = dc_replace(
+            config,
+            n_books=600, n_authors=200, n_bct_users=120, n_anobii_users=500,
+            epochs=5, repeats=2, embed_repeat=2,
+        )
+    if args.repeats is not None:
+        config = dc_replace(config, repeats=args.repeats)
+    if args.jobs is not None:
+        config = dc_replace(config, n_jobs=args.jobs)
+    report = run_parallel_bench(
+        config, output_path=args.bench_output or DEFAULT_OUTPUT
+    )
+    print(render_parallel_bench_report(report))
+    return 0
+
+
+def render_parallel_bench_report(report: dict) -> str:
+    """A human-readable summary of a parallel bench report."""
+    lines = [
+        f"parallel bench (n_jobs={report['config']['n_jobs']}, "
+        f"backend={report['config']['backend']}, "
+        f"{report['dataset']['books']} books x "
+        f"{report['dataset']['readings']} readings)"
+    ]
+    for section in ("grid", "embedding", "merge"):
+        data = report[section]
+        identical = "identical" if data["identical"] else "MISMATCH"
+        lines.append(
+            f"  {section:<10} {data['serial_seconds']:7.2f} s -> "
+            f"{data['parallel_seconds']:7.2f} s "
+            f"({data['speedup']:.2f}x, {identical})"
+        )
+    if "output_path" in report:
+        lines.append(f"  written to {report['output_path']}")
+    return "\n".join(lines)
 
 
 def render_bench_report(report: dict) -> str:

@@ -33,6 +33,10 @@ class ExperimentConfig:
     merge: MergeConfig = field(default_factory=lambda: MergeConfig(min_book_readings=20))
     bpr: BPRConfig = field(default_factory=BPRConfig)
     closest_fields: tuple[str, ...] = ("author", "genres")
+    n_jobs: int = 1
+    """Worker count for the parallel-capable stages (merge pipeline,
+    hyper-parameter grid search); ``1`` = serial, ``-1`` = all CPUs.
+    Results are bit-identical for every value (see ``repro.parallel``)."""
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         """The same configuration with a different world seed."""
@@ -78,8 +82,10 @@ SCALES = {
 }
 
 
-def config_for_scale(scale: str, seed: int | None = None) -> ExperimentConfig:
-    """Build the preset for ``scale``, optionally reseeded."""
+def config_for_scale(
+    scale: str, seed: int | None = None, n_jobs: int | None = None
+) -> ExperimentConfig:
+    """Build the preset for ``scale``, optionally reseeded/parallelised."""
     if scale not in SCALES:
         raise ConfigurationError(
             f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
@@ -87,4 +93,6 @@ def config_for_scale(scale: str, seed: int | None = None) -> ExperimentConfig:
     config = SCALES[scale]()
     if seed is not None:
         config = config.with_seed(seed)
+    if n_jobs is not None:
+        config = replace(config, n_jobs=n_jobs)
     return config

@@ -60,5 +60,6 @@ def run(context: ExperimentContext) -> GridsearchResult:
             SMALL_LEARNING_RATE_GRID if small else LEARNING_RATE_GRID
         ),
         k=context.config.k,
+        n_jobs=context.config.n_jobs,
     )
     return GridsearchResult(grid=grid)

@@ -36,6 +36,7 @@ class JsonFormatter(logging.Formatter):
     """Format each record as one JSON object (sorted keys, one line)."""
 
     def format(self, record: logging.LogRecord) -> str:
+        """Render ``record`` (plus span ids and extras) as one JSON line."""
         payload: dict = {
             "ts": round(record.created, 6),
             "level": record.levelname,

@@ -25,10 +25,20 @@ Invariants the property suite pins down (``tests/obs/test_metrics.py``):
 - snapshots are immutable copies — mutating one never changes the
   registry, and two consecutive snapshots of an idle registry are equal;
 - counters reject negative increments.
+
+Concurrency: every instrument mutation (``inc``/``set``/``observe``,
+labelled-child creation, registry create-or-get) takes a per-object
+lock, so one registry can be shared by the concurrent serving path
+(:class:`~repro.app.service.RecommendationService` under a thread pool)
+without lost updates — the audit lives in
+``tests/app/test_service_concurrency.py``. Worker processes cannot share
+a registry at all; they snapshot their private registry and the parent
+folds it in with :meth:`MetricsRegistry.merge_snapshot`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Iterable, Mapping
 
@@ -53,6 +63,15 @@ def _label_key(labels: Mapping[str, str]) -> str:
     return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
 
 
+def _parse_label_key(key: str) -> dict[str, str]:
+    """Invert :func:`_label_key` (labels must not contain ``,`` or ``=``)."""
+    labels: dict[str, str] = {}
+    for part in key.split(","):
+        name, _, value = part.partition("=")
+        labels[name] = value
+    return labels
+
+
 class _Instrument:
     """Shared labelled-children machinery."""
 
@@ -62,6 +81,7 @@ class _Instrument:
         self.name = name
         self.help = help
         self._children: dict[str, "_Instrument"] = {}
+        self._lock = threading.Lock()
 
     def labels(self, **labels: str):
         """The child instrument for one label combination (created lazily)."""
@@ -72,8 +92,11 @@ class _Instrument:
         key = _label_key({k: str(v) for k, v in labels.items()})
         child = self._children.get(key)
         if child is None:
-            child = self._make_child()
-            self._children[key] = child
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
         return child
 
     def _make_child(self) -> "_Instrument":
@@ -91,14 +114,17 @@ class Counter(_Instrument):
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Increase the count by ``amount`` (thread-safe, must be >= 0)."""
         if amount < 0:
             raise ConfigurationError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
             )
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
+        """The current count."""
         return self._value
 
     def _make_child(self) -> "Counter":
@@ -127,16 +153,23 @@ class Gauge(_Instrument):
         self._value = 0.0
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        """Replace the gauge value (thread-safe)."""
+        with self._lock:
+            self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
+        """Move the gauge up by ``amount`` (thread-safe)."""
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self._value -= amount
+        """Move the gauge down by ``amount`` (thread-safe)."""
+        with self._lock:
+            self._value -= amount
 
     @property
     def value(self) -> float:
+        """The current gauge value."""
         return self._value
 
     def _make_child(self) -> "Gauge":
@@ -207,20 +240,29 @@ class Histogram(_Instrument):
         self._window: deque[float] = deque(maxlen=window)
 
     def observe(self, value: float) -> None:
+        """Record one observation into the buckets and the raw window.
+
+        Thread-safe: bucket counts, the running sum/count, and the
+        window move together under the instrument lock, so concurrent
+        observers cannot break the counts-sum-to-count invariant.
+        """
         value = float(value)
         index = int(np.searchsorted(self._bounds, value, side="left"))
-        self._counts[index] += 1
-        self._sum += value
-        self._count += 1
-        if self.window_size:
-            self._window.append(value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if self.window_size:
+                self._window.append(value)
 
     @property
     def count(self) -> int:
+        """Total observations recorded (window and overflow included)."""
         return self._count
 
     @property
     def sum(self) -> float:
+        """Sum of every observed value."""
         return self._sum
 
     @property
@@ -259,7 +301,29 @@ class Histogram(_Instrument):
 
     @property
     def mean(self) -> float:
+        """Mean observed value (0.0 before any observation)."""
         return self._sum / self._count if self._count else 0.0
+
+    def _merge_entry(self, entry: dict) -> None:
+        """Fold a foreign snapshot entry's buckets/sum/count into this one.
+
+        Raises:
+            ConfigurationError: when the foreign bucket bounds disagree
+                with this histogram's.
+        """
+        if tuple(entry["buckets"]) != self.buckets:
+            raise ConfigurationError(
+                f"histogram {self.name!r} bucket bounds differ from the "
+                "snapshot being merged"
+            )
+        with self._lock:
+            for index, count in enumerate(entry["counts"]):
+                self._counts[index] += int(count)
+            self._sum += float(entry["sum"])
+            self._count += int(entry["count"])
+        for key, child_entry in entry.get("labels", {}).items():
+            child = self.labels(**_parse_label_key(key))
+            child._merge_entry(child_entry)
 
     def _make_child(self) -> "Histogram":
         return Histogram(
@@ -300,11 +364,14 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str, help: str = "") -> Counter:
+        """Create-or-get the :class:`Counter` called ``name``."""
         return self._get_or_create(Counter, name, help=help)
 
     def gauge(self, name: str, help: str = "") -> Gauge:
+        """Create-or-get the :class:`Gauge` called ``name``."""
         return self._get_or_create(Gauge, name, help=help)
 
     def histogram(
@@ -314,29 +381,80 @@ class MetricsRegistry:
         window: int = DEFAULT_WINDOW,
         help: str = "",
     ) -> Histogram:
+        """Create-or-get the :class:`Histogram` called ``name``.
+
+        ``buckets``/``window`` only apply on first creation; a later
+        request with a different kind raises
+        :class:`~repro.errors.ConfigurationError`.
+        """
         return self._get_or_create(
             Histogram, name, buckets=buckets, window=window, help=help
         )
 
     def _get_or_create(self, kind: type, name: str, **kwargs) -> _Instrument:
-        existing = self._instruments.get(name)
-        if existing is not None:
-            if type(existing) is not kind:
-                raise ConfigurationError(
-                    f"metric {name!r} is a {type(existing).__name__}, "
-                    f"requested as {kind.__name__}"
-                )
-            return existing
-        instrument = kind(name, **kwargs)
-        self._instruments[name] = instrument
-        return instrument
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not kind:
+                    raise ConfigurationError(
+                        f"metric {name!r} is a {type(existing).__name__}, "
+                        f"requested as {kind.__name__}"
+                    )
+                return existing
+            instrument = kind(name, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
 
     def __contains__(self, name: str) -> bool:
+        """Whether an instrument called ``name`` exists."""
         return name in self._instruments
 
     @property
     def names(self) -> tuple[str, ...]:
+        """Every registered instrument name, sorted."""
         return tuple(sorted(self._instruments))
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a foreign :meth:`snapshot` into this registry.
+
+        This is how metrics cross a process boundary: a worker records
+        into its own private registry, ships ``registry.snapshot()``
+        back with its result, and the parent merges every worker
+        snapshot — in task-submission order, so gauge values land
+        exactly as the serial path would have left them.
+
+        Merge semantics per instrument kind (labelled children
+        included, matched by their canonical label string):
+
+        - **counters** add the foreign value;
+        - **gauges** take the foreign value (last merge wins);
+        - **histograms** add bucket counts, sum, and count. Raw
+          percentile windows do not travel through snapshots, so
+          percentiles over merged-only data fall back to the bucket
+          upper-bound estimate.
+
+        Args:
+            snapshot: a dict produced by :meth:`snapshot` (possibly in
+                another process).
+
+        Raises:
+            ConfigurationError: when a name collides with an existing
+                instrument of a different kind, or histogram bucket
+                bounds disagree.
+        """
+        for name, entry in snapshot.get("counters", {}).items():
+            counter = self.counter(name)
+            counter.inc(entry["value"])
+            for key, value in entry.get("labels", {}).items():
+                counter.labels(**_parse_label_key(key)).inc(value)
+        for name, entry in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(entry["value"])
+            for key, value in entry.get("labels", {}).items():
+                gauge.labels(**_parse_label_key(key)).set(value)
+        for name, entry in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, buckets=tuple(entry["buckets"]))
+            histogram._merge_entry(entry)
 
     def reset(self) -> None:
         """Zero every instrument (labelled children included) in place."""

@@ -28,6 +28,7 @@ class StageProfile:
 
     @property
     def mean_seconds(self) -> float:
+        """Average wall seconds per call (0.0 when never called)."""
         return self.wall_seconds / self.calls if self.calls else 0.0
 
 

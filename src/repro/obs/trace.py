@@ -30,7 +30,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.errors import ConfigurationError
 from repro.resilience.artefacts import atomic_write
@@ -96,9 +96,11 @@ class Span:
         return self.end - self.start
 
     def set_attr(self, key: str, value) -> None:
+        """Attach one attribute to the span."""
         self.attrs[key] = value
 
     def set_attrs(self, **attrs) -> None:
+        """Attach several attributes to the span at once."""
         self.attrs.update(attrs)
 
     def __enter__(self) -> "Span":
@@ -233,6 +235,7 @@ class Tracer:
 
     @property
     def active_span(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
         return self._stack[-1] if self._stack else None
 
     @property
@@ -241,7 +244,39 @@ class Tracer:
         return tuple(self._finished)
 
     def clear(self) -> None:
+        """Drop every finished span (open spans are unaffected)."""
         self._finished.clear()
+
+    def adopt(self, records: "Iterable[dict]") -> None:
+        """Append finished spans recorded by another tracer.
+
+        This is how traces cross a process boundary: a worker records
+        into its own seeded tracer, ships ``[span.as_dict() for span in
+        tracer.spans]`` back with its result, and the parent adopts
+        them. Adopted spans keep their original ids, timings, and
+        parent links (they form separate traces from the parent's), and
+        participate in :meth:`export_jsonl` like locally finished spans.
+
+        Args:
+            records: :meth:`Span.as_dict` dictionaries, in the order
+                they should appear in the finished-span list.
+        """
+        for record in records:
+            span = Span(
+                self,
+                record["name"],
+                record["trace_id"],
+                record["span_id"],
+                record.get("parent_id"),
+                dict(record.get("attrs", {})),
+            )
+            span.start = record.get("start")
+            span.end = record.get("end")
+            span.cpu_seconds = record.get("cpu_seconds")
+            span.status = record.get("status", STATUS_OK)
+            span.error = record.get("error")
+            self._finished.append(span)
+        self._trim()
 
     def export_jsonl(self, path: str | Path) -> Path:
         """Write finished spans as JSON Lines, crash-safely.

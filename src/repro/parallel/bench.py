@@ -1,0 +1,228 @@
+"""Measure the parallel execution paths against their serial references.
+
+Three surfaces are benchmarked, one per wired layer:
+
+- **grid search** — :func:`repro.eval.grid.grid_search_bpr` with
+  ``n_jobs=1`` vs ``n_jobs=2`` worker processes over the same grid; the
+  winner and every grid point must be bit-identical, and the parallel
+  sweep must actually be faster (the acceptance floor is the recorded
+  ``speedup`` field).
+- **embedding** — :class:`repro.text.HashedTfidfEmbedder` fit+encode
+  over the catalogue summaries, serial vs chunked across processes,
+  with the resulting matrices compared element-for-element.
+- **merge pipeline** — :func:`repro.pipeline.merge.build_merged_dataset`
+  serial vs parallel genre-parse/match-key stages, with the
+  :class:`~repro.pipeline.merge.MergeReport` compared field-for-field.
+
+Results are written to ``BENCH_parallel.json`` so the speedup trajectory
+stays visible across PRs, next to ``BENCH_fastpath.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.bpr import BPRConfig
+from repro.datasets.synthetic import generate_sources
+from repro.datasets.world import WorldConfig
+from repro.eval.grid import grid_search_bpr
+from repro.eval.split import split_readings
+from repro.perf.timer import Timer, best_of
+from repro.pipeline.merge import MergeConfig, build_merged_dataset
+from repro.text.embedder import HashedTfidfEmbedder
+from repro.text.summary import MetadataSummaryBuilder
+
+DEFAULT_OUTPUT = "BENCH_parallel.json"
+
+
+@dataclass(frozen=True)
+class ParallelBenchConfig:
+    """Shape and worker knobs for the parallel bench.
+
+    The defaults build a catalogue large enough that each grid cell
+    trains for around a second — long enough that process start-up and
+    task pickling are noise against the work they distribute, small
+    enough that the whole bench finishes in about a minute.
+    """
+
+    n_books: int = 2500
+    n_authors: int = 600
+    n_bct_users: int = 250
+    n_anobii_users: int = 1200
+    min_user_readings: int = 10
+    min_book_readings: int = 3
+    seed: int = 7
+    n_jobs: int = 2
+    backend: str = "process"
+    factor_grid: tuple[int, ...] = (5, 10, 20)
+    learning_rate_grid: tuple[float, ...] = (0.1, 0.2)
+    epochs: int = 15
+    k: int = 20
+    repeats: int = 5
+    """Best-of repeats per measurement (the :func:`repro.perf.timer.best_of`
+    defence against scheduler noise — essential on shared machines, where
+    a single run can land in a CPU-stolen window)."""
+    embed_repeat: int = 4
+    """Concatenate the summary corpus this many times for the embedding
+    measurement, so the per-text hashing work dominates pool overhead."""
+
+
+def run_parallel_bench(
+    config: ParallelBenchConfig | None = None,
+    output_path: str | Path | None = DEFAULT_OUTPUT,
+) -> dict[str, Any]:
+    """Run every serial-vs-parallel measurement and (optionally) write JSON.
+
+    Every section reports best-of-``repeats`` serial seconds, parallel
+    seconds, the speedup ratio, and an ``identical`` flag confirming the
+    parallel result is bit-equal to the serial one — a speedup that
+    changes the answer is not a speedup.
+    """
+    config = config or ParallelBenchConfig()
+    report: dict[str, Any] = {
+        "bench": "parallel",
+        "config": asdict(config),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+    with Timer("dataset build") as build_timer:
+        world = WorldConfig(
+            n_books=config.n_books,
+            n_authors=config.n_authors,
+            n_bct_users=config.n_bct_users,
+            n_anobii_users=config.n_anobii_users,
+            seed=config.seed,
+        )
+        sources = generate_sources(world)
+        merge_config = MergeConfig(
+            min_user_readings=config.min_user_readings,
+            min_book_readings=config.min_book_readings,
+        )
+        merged, _ = build_merged_dataset(
+            sources.bct, sources.anobii, merge_config
+        )
+        split = split_readings(merged)
+    report["dataset"] = {
+        "books": merged.books.num_rows,
+        "readings": merged.readings.num_rows,
+        "build_seconds": build_timer.seconds,
+    }
+
+    report["grid"] = _bench_grid(config, split, merged)
+    report["embedding"] = _bench_embedding(config, merged)
+    report["merge"] = _bench_merge(config, sources, merge_config)
+
+    if output_path is not None:
+        path = Path(output_path)
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        report["output_path"] = str(path)
+    return report
+
+
+def _timed_best(fn, repeats: int) -> tuple[Any, float]:
+    """Run ``fn`` ``repeats`` times; return its result and best seconds."""
+    holder: dict[str, Any] = {}
+
+    def call() -> None:
+        holder["result"] = fn()
+
+    seconds = best_of(call, repeats)
+    return holder["result"], seconds
+
+
+def _bench_grid(config, split, merged) -> dict[str, Any]:
+    """Serial vs multiprocess hyper-parameter sweep over the same grid."""
+    base = BPRConfig(epochs=config.epochs, seed=config.seed)
+
+    def sweep(n_jobs: int, backend: str):
+        return grid_search_bpr(
+            split, merged, base,
+            factor_grid=config.factor_grid,
+            learning_rate_grid=config.learning_rate_grid,
+            k=config.k, n_jobs=n_jobs, backend=backend,
+        )
+
+    serial, serial_seconds = _timed_best(
+        lambda: sweep(1, "serial"), config.repeats
+    )
+    parallel, parallel_seconds = _timed_best(
+        lambda: sweep(config.n_jobs, config.backend), config.repeats
+    )
+    return {
+        "cells": len(config.factor_grid) * len(config.learning_rate_grid),
+        "n_jobs": config.n_jobs,
+        "backend": config.backend,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "identical": serial.points == parallel.points
+        and serial.best == parallel.best,
+        "best": {
+            "n_factors": serial.best.n_factors,
+            "learning_rate": serial.best.learning_rate,
+            "val_urr": serial.best.val_urr,
+        },
+    }
+
+
+def _bench_embedding(config, merged) -> dict[str, Any]:
+    """Serial vs multiprocess tokenise-and-hash over the book summaries."""
+    summaries = MetadataSummaryBuilder().build_all(merged)
+    corpus = [summaries[k] for k in sorted(summaries)] * config.embed_repeat
+
+    def embed(n_jobs: int):
+        embedder = HashedTfidfEmbedder(n_jobs=n_jobs, backend=config.backend)
+        return embedder.fit(corpus).encode(corpus)
+
+    serial, serial_seconds = _timed_best(lambda: embed(1), config.repeats)
+    parallel, parallel_seconds = _timed_best(
+        lambda: embed(config.n_jobs), config.repeats
+    )
+    return {
+        "texts": len(corpus),
+        "n_jobs": config.n_jobs,
+        "backend": config.backend,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "identical": bool(np.array_equal(serial, parallel)),
+    }
+
+
+def _bench_merge(config, sources, merge_config) -> dict[str, Any]:
+    """Serial vs parallel merge pipeline (genre parse + match keys)."""
+    (serial_data, serial_report), serial_seconds = _timed_best(
+        lambda: build_merged_dataset(
+            sources.bct, sources.anobii, merge_config, n_jobs=1
+        ),
+        config.repeats,
+    )
+    (parallel_data, parallel_report), parallel_seconds = _timed_best(
+        lambda: build_merged_dataset(
+            sources.bct, sources.anobii, merge_config,
+            n_jobs=config.n_jobs, backend=config.backend,
+        ),
+        config.repeats,
+    )
+    identical = str(serial_report) == str(parallel_report) and bool(
+        np.array_equal(
+            serial_data.readings["book_id"], parallel_data.readings["book_id"]
+        )
+    )
+    return {
+        "n_jobs": config.n_jobs,
+        "backend": config.backend,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "identical": identical,
+    }

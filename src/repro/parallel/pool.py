@@ -1,0 +1,451 @@
+"""Seeded, deterministic work distribution: the :class:`WorkerPool`.
+
+One abstraction hides three execution backends behind a single chunked,
+order-stable ``map`` interface:
+
+- ``serial`` — a plain loop in the calling thread (the reference path);
+- ``thread`` — a :class:`concurrent.futures.ThreadPoolExecutor` (right
+  for GIL-releasing numpy work and I/O);
+- ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  (right for pure-Python CPU work such as tokenisation/hashing and for
+  whole grid-search cells).
+
+Determinism contract (see ``docs/determinism.md``): results are a
+function of the inputs only, never of the backend or of scheduling.
+Three properties guarantee it:
+
+1. **Order-stable reassembly** — items are split into contiguous index
+   chunks and results are reassembled by chunk index, so ``pool.map(f,
+   xs) == [f(x) for x in xs]`` for any pure ``f`` on every backend.
+2. **Parent-side seed derivation** — :func:`task_seeds` derives one
+   integer seed per task from ``(seed, scope, task count)`` *before*
+   any work is dispatched, so a task's randomness does not depend on
+   which worker runs it or when.
+3. **Stateless workers** — the pool never shares mutable state between
+   tasks; anything a worker needs travels in its (picklable) task.
+
+The process backend prefers the cheap copy-on-write ``fork`` start
+method where the platform offers it and falls back to the default
+context elsewhere; either way task functions and arguments must be
+picklable (module-level functions, dataclasses, numpy arrays).
+
+Large read-only payloads that every task needs (a dataset, a split)
+should travel through the pool's ``shared`` channel rather than inside
+each task: the payload is delivered once per worker at start-up — free
+of any copy under ``fork`` — and read back with :func:`shared_payload`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import multiprocessing
+
+from repro.errors import ConfigurationError
+from repro.rng import derive_rng
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Recognised backend names; ``"auto"`` resolves to ``"process"`` for
+#: ``n_jobs > 1`` and ``"serial"`` otherwise.
+BACKENDS = ("serial", "thread", "process")
+
+#: Ceiling applied to ``n_jobs=-1`` resolution when the scheduler offers
+#: an unreasonable core count (keeps forked-pool start-up bounded).
+MAX_AUTO_JOBS = 16
+
+
+def resolve_n_jobs(n_jobs: int) -> int:
+    """Normalise an ``n_jobs`` request to a concrete worker count.
+
+    Args:
+        n_jobs: ``1`` for serial execution, ``N > 1`` for ``N`` workers,
+            or ``-1`` for "all CPUs" (``os.cpu_count()`` capped at
+            :data:`MAX_AUTO_JOBS`).
+
+    Returns:
+        A worker count ``>= 1``.
+
+    Raises:
+        ConfigurationError: for ``0``, negative values other than
+            ``-1``, or non-integer input.
+    """
+    if not isinstance(n_jobs, int) or isinstance(n_jobs, bool):
+        raise ConfigurationError(f"n_jobs must be an int, got {n_jobs!r}")
+    if n_jobs == -1:
+        return max(1, min(os.cpu_count() or 1, MAX_AUTO_JOBS))
+    if n_jobs < 1:
+        raise ConfigurationError(
+            f"n_jobs must be >= 1 or -1 (all CPUs), got {n_jobs}"
+        )
+    return n_jobs
+
+
+def chunk_slices(n_items: int, n_chunks: int) -> list[slice]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous slices.
+
+    Chunk sizes differ by at most one item and concatenating the slices
+    in order reproduces ``range(n_items)`` exactly — the property the
+    order-stable reassembly of :meth:`WorkerPool.map` relies on.
+
+    Args:
+        n_items: number of items to cover (``>= 0``).
+        n_chunks: requested chunk count (``>= 1``); capped at ``n_items``.
+
+    Returns:
+        A list of ``slice`` objects covering ``range(n_items)`` in order.
+
+    Raises:
+        ConfigurationError: when ``n_items < 0`` or ``n_chunks < 1``.
+    """
+    if n_items < 0:
+        raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+    if n_chunks < 1:
+        raise ConfigurationError(f"n_chunks must be >= 1, got {n_chunks}")
+    n_chunks = min(n_chunks, n_items)
+    if n_chunks == 0:
+        return []
+    base, extra = divmod(n_items, n_chunks)
+    slices = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+def task_seeds(seed: int | None, scope: str, count: int) -> list[int]:
+    """Derive ``count`` per-task integer seeds from ``(seed, scope)``.
+
+    The derivation runs in the parent before any dispatch and depends
+    only on its arguments — never on the backend, worker identity, or
+    completion order — so seeded tasks produce bit-identical results on
+    every backend. Task ``i`` of a ``count``-task submission always
+    receives the same seed for the same ``(seed, scope, count)``.
+
+    Args:
+        seed: the experiment seed (``None`` selects the library default).
+        scope: a task-family label, e.g. ``"grid.cells"`` — distinct
+            scopes get independent seed streams from the same seed.
+        count: number of tasks (``>= 0``).
+
+    Returns:
+        ``count`` independent seeds in ``[0, 2**31 - 1)``.
+
+    Raises:
+        ConfigurationError: when ``count`` is negative.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    rng = derive_rng(seed, "parallel", scope)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=count)]
+
+
+#: Per-worker slot for the pool's ``shared`` payload (see
+#: :func:`shared_payload`). In worker processes it is populated by the
+#: executor initializer; under the serial and thread backends it lives
+#: in the calling process.
+_WORKER_SHARED: object = None
+
+
+def _init_worker(payload: object) -> None:
+    """Executor initializer: stash the pool's shared payload (per worker)."""
+    global _WORKER_SHARED
+    _WORKER_SHARED = payload
+
+
+def shared_payload() -> object:
+    """The ``shared`` payload of the pool running the current task.
+
+    Task functions call this instead of carrying a large read-only
+    object (dataset, split, model) inside every task: the payload is
+    delivered once per worker when the executor starts — with the
+    ``fork`` start method it is inherited copy-on-write, costing no
+    pickling at all — rather than once per task.
+
+    Returns:
+        Whatever was passed as ``WorkerPool(shared=...)``, or ``None``
+        when the pool has no shared payload.
+    """
+    return _WORKER_SHARED
+
+
+def _run_chunk(fn: Callable, chunk: list) -> list:
+    """Apply ``fn`` to every item of one chunk (runs inside a worker)."""
+    return [fn(item) for item in chunk]
+
+
+def _run_star_chunk(fn: Callable, chunk: list) -> list:
+    """Apply ``fn(*args)`` to every argument tuple of one chunk."""
+    return [fn(*args) for args in chunk]
+
+
+class WorkerPool:
+    """Chunked, order-stable ``map`` over one of three backends.
+
+    A pool is cheap to construct: the executor is created lazily on the
+    first parallel call and reused across subsequent calls, so a
+    multi-stage pipeline pays worker start-up once. :meth:`close` (or
+    the context-manager form) tears the executor down; a closed pool
+    transparently rebuilds it when mapped again.
+
+    Args:
+        n_jobs: worker count (``1`` = serial, ``-1`` = all CPUs; see
+            :func:`resolve_n_jobs`).
+        backend: ``"serial"``, ``"thread"``, ``"process"``, or
+            ``"auto"`` (process when ``n_jobs > 1``, serial otherwise).
+        chunk_size: items per submitted task; defaults to an even split
+            into ``2 * n_jobs`` chunks (bounded scheduling overhead with
+            some load-balancing slack).
+        shared: optional read-only payload delivered to every worker at
+            executor start-up and read with :func:`shared_payload`.
+            Under the ``fork`` start method the delivery is a
+            copy-on-write inheritance — no pickling — which is how the
+            grid search ships one dataset to many cells. The serial and
+            thread backends route the payload through the process-wide
+            slot instead, so two simultaneously-mapping thread pools
+            must not carry *different* payloads.
+
+    Raises:
+        ConfigurationError: for an unknown backend, invalid ``n_jobs``,
+            or a non-positive ``chunk_size``.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        backend: str = "auto",
+        chunk_size: int | None = None,
+        shared: object = None,
+    ) -> None:
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        if backend == "auto":
+            backend = "process" if self.n_jobs > 1 else "serial"
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{BACKENDS + ('auto',)}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.backend = backend if self.n_jobs > 1 else "serial"
+        self.chunk_size = chunk_size
+        self.shared = shared
+        self._live_executor: Executor | None = None
+
+    def __repr__(self) -> str:
+        """``WorkerPool(n_jobs=…, backend=…)`` for logs and spans."""
+        return (
+            f"{type(self).__name__}(n_jobs={self.n_jobs}, "
+            f"backend={self.backend!r})"
+        )
+
+    def __enter__(self) -> "WorkerPool":
+        """Use the pool as a context manager; :meth:`close` on exit."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Tear down the executor when the ``with`` block exits."""
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the cached executor (idempotent).
+
+        The pool stays usable: the next parallel call simply builds a
+        fresh executor. Serial pools hold no resources and close is a
+        no-op.
+        """
+        if self._live_executor is not None:
+            self._live_executor.shutdown(wait=True)
+            self._live_executor = None
+
+    def with_shared(self, shared: object) -> "WorkerPool":
+        """A new pool with the same settings but a different ``shared``.
+
+        The fresh pool has its own (lazily created) executor, so the
+        payload is captured before any worker starts — the rule that
+        makes ``fork`` inheritance sound.
+        """
+        return type(self)(
+            n_jobs=self.n_jobs,
+            backend=self.backend,
+            chunk_size=self.chunk_size,
+            shared=shared,
+        )
+
+    # ------------------------------------------------------------------
+    # mapping
+    # ------------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Iterable[ItemT],
+        chunk_size: int | None = None,
+    ) -> list[ResultT]:
+        """``[fn(item) for item in items]``, possibly in parallel.
+
+        Items are split into contiguous chunks, chunks run on the
+        backend's workers, and results are reassembled in submission
+        order — for a pure ``fn`` the result is bit-identical to the
+        serial loop on every backend.
+
+        Args:
+            fn: a pure function of one item. For the process backend it
+                must be picklable (a module-level function or a
+                ``functools.partial`` of one).
+            items: the work list (materialised once, in order).
+            chunk_size: per-call override of the pool's chunking.
+
+        Returns:
+            One result per item, in the order of ``items``.
+
+        Raises:
+            Exception: the first exception raised by ``fn`` propagates
+                unchanged (remaining chunks are cancelled or drained).
+        """
+        return self._map_chunked(_run_chunk, fn, list(items), chunk_size)
+
+    def starmap(
+        self,
+        fn: Callable[..., ResultT],
+        items: Iterable[tuple],
+        chunk_size: int | None = None,
+    ) -> list[ResultT]:
+        """``[fn(*args) for args in items]`` with :meth:`map` semantics.
+
+        Args:
+            fn: a pure function; each item supplies its positional args.
+            items: an iterable of argument tuples.
+            chunk_size: per-call override of the pool's chunking.
+
+        Returns:
+            One result per argument tuple, in submission order.
+        """
+        return self._map_chunked(
+            _run_star_chunk, fn, [tuple(args) for args in items], chunk_size
+        )
+
+    def map_seeded(
+        self,
+        fn: Callable[[ItemT, int], ResultT],
+        items: Iterable[ItemT],
+        seed: int | None,
+        scope: str,
+        chunk_size: int | None = None,
+    ) -> list[ResultT]:
+        """Map ``fn(item, task_seed)`` with parent-derived per-task seeds.
+
+        Seeds come from :func:`task_seeds` — derived before dispatch,
+        independent of the backend — so a stochastic-but-seeded task
+        family produces bit-identical output serial or parallel.
+
+        Args:
+            fn: a function of ``(item, seed)``.
+            items: the work list.
+            seed: the experiment seed the task seeds derive from.
+            scope: the task-family label for the seed stream.
+            chunk_size: per-call override of the pool's chunking.
+
+        Returns:
+            One result per item, in the order of ``items``.
+        """
+        work = list(items)
+        seeds = task_seeds(seed, scope, len(work))
+        return self.starmap(fn, zip(work, seeds), chunk_size)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _map_chunked(
+        self,
+        runner: Callable[[Callable, list], list],
+        fn: Callable,
+        work: list,
+        chunk_size: int | None,
+    ) -> list:
+        if self.backend == "serial" or len(work) <= 1:
+            return self._run_serial(runner, fn, work)
+        chunk_size = chunk_size or self.chunk_size
+        if chunk_size is not None:
+            n_chunks = max(1, -(-len(work) // chunk_size))
+        else:
+            n_chunks = 2 * self.n_jobs
+        slices = chunk_slices(len(work), n_chunks)
+        executor = self._executor()
+        futures = [
+            executor.submit(runner, fn, work[piece]) for piece in slices
+        ]
+        results: list = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def _run_serial(
+        self, runner: Callable[[Callable, list], list], fn: Callable, work: list
+    ) -> list:
+        """The in-process reference path, honouring ``shared``."""
+        if self.shared is None:
+            return runner(fn, work)
+        global _WORKER_SHARED
+        previous = _WORKER_SHARED
+        _WORKER_SHARED = self.shared
+        try:
+            return runner(fn, work)
+        finally:
+            _WORKER_SHARED = previous
+
+    def _executor(self) -> Executor:
+        if self._live_executor is not None:
+            return self._live_executor
+        initializer = _init_worker if self.shared is not None else None
+        initargs = (self.shared,) if self.shared is not None else ()
+        if self.backend == "thread":
+            self._live_executor = ThreadPoolExecutor(
+                max_workers=self.n_jobs,
+                initializer=initializer,
+                initargs=initargs,
+            )
+        else:
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._live_executor = ProcessPoolExecutor(
+                max_workers=self.n_jobs,
+                mp_context=context,
+                initializer=initializer,
+                initargs=initargs,
+            )
+        return self._live_executor
+
+
+def parallel_map(
+    fn: Callable[[ItemT], ResultT],
+    items: Iterable[ItemT],
+    n_jobs: int = 1,
+    backend: str = "auto",
+    chunk_size: int | None = None,
+) -> list[ResultT]:
+    """One-shot :meth:`WorkerPool.map` without keeping a pool around.
+
+    Args:
+        fn: a pure function of one item (picklable for ``process``).
+        items: the work list.
+        n_jobs: worker count (``1`` = serial, ``-1`` = all CPUs).
+        backend: ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``.
+        chunk_size: items per submitted task (defaults to an even split).
+
+    Returns:
+        One result per item, in the order of ``items``.
+    """
+    with WorkerPool(
+        n_jobs=n_jobs, backend=backend, chunk_size=chunk_size
+    ) as pool:
+        return pool.map(fn, items, chunk_size)

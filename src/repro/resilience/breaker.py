@@ -19,6 +19,7 @@ tests: advance a fake clock past the cool-down and the next
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from typing import Callable
@@ -46,6 +47,12 @@ class CircuitBreaker:
             on every state change (the observability layer wires this to a
             transition counter and a state gauge). Exceptions are not
             caught: the callback must be infallible.
+
+    Thread safety: every state read and mutation happens under one
+    re-entrant lock, so concurrent serving threads observe a consistent
+    state machine (no torn open/half-open transitions, no lost window
+    outcomes). ``on_transition`` fires while the lock is held — the
+    callback must not call back into the breaker.
     """
 
     def __init__(
@@ -80,6 +87,7 @@ class CircuitBreaker:
         self._state = STATE_CLOSED
         self._opened_at = 0.0
         self._half_open_successes = 0
+        self._lock = threading.RLock()
         self.opened_count = 0
         """How many times the breaker has transitioned closed/half-open -> open."""
 
@@ -90,24 +98,30 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         """Current state, observing a due open -> half-open transition."""
-        self._maybe_half_open()
-        return self._state
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
 
     @property
     def failure_rate(self) -> float:
-        if not self._outcomes:
-            return 0.0
-        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+        """Failing share of the outcome window (0.0 when empty)."""
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(
+                1 for ok in self._outcomes if not ok
+            ) / len(self._outcomes)
 
     def snapshot(self) -> dict:
         """A JSON-friendly view for health reports."""
-        return {
-            "state": self.state,
-            "failure_rate": round(self.failure_rate, 4),
-            "window_calls": len(self._outcomes),
-            "opened_count": self.opened_count,
-            "cooldown_seconds": self.cooldown_seconds,
-        }
+        with self._lock:
+            return {
+                "state": self.state,
+                "failure_rate": round(self.failure_rate, 4),
+                "window_calls": len(self._outcomes),
+                "opened_count": self.opened_count,
+                "cooldown_seconds": self.cooldown_seconds,
+            }
 
     # ------------------------------------------------------------------
     # protocol: allow() -> call -> record_success()/record_failure()
@@ -115,36 +129,40 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """Whether the guarded call may proceed right now."""
-        self._maybe_half_open()
-        if self._state == STATE_OPEN:
-            return False
-        return True
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != STATE_OPEN
 
     def record_success(self) -> None:
-        self._maybe_half_open()
-        if self._state == STATE_HALF_OPEN:
-            self._half_open_successes += 1
-            if self._half_open_successes >= self.successes_to_close:
-                self._close()
-            return
-        self._outcomes.append(True)
+        """Record one successful guarded call (may close the breaker)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == STATE_HALF_OPEN:
+                self._half_open_successes += 1
+                if self._half_open_successes >= self.successes_to_close:
+                    self._close()
+                return
+            self._outcomes.append(True)
 
     def record_failure(self) -> None:
-        self._maybe_half_open()
-        if self._state == STATE_HALF_OPEN:
-            self._open()
-            return
-        self._outcomes.append(False)
-        if (
-            self._state == STATE_CLOSED
-            and len(self._outcomes) >= self.min_calls
-            and self.failure_rate >= self.failure_threshold
-        ):
-            self._open()
+        """Record one failed guarded call (may open the breaker)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == STATE_HALF_OPEN:
+                self._open()
+                return
+            self._outcomes.append(False)
+            if (
+                self._state == STATE_CLOSED
+                and len(self._outcomes) >= self.min_calls
+                and self.failure_rate >= self.failure_threshold
+            ):
+                self._open()
 
     def reset(self) -> None:
         """Force-close the breaker and clear its window (e.g. on redeploy)."""
-        self._close()
+        with self._lock:
+            self._close()
 
     # ------------------------------------------------------------------
     # transitions

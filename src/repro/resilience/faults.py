@@ -161,12 +161,14 @@ class FaultyModel(Recommender):
 
     @property
     def name(self) -> str:
+        """The wrapped model's name with a fault-injection marker."""
         return f"{self._model.name} [fault-injected]"
 
     def _fit(self, train: InteractionMatrix, dataset: MergedDataset | None) -> None:
         self._model.fit(train, dataset)
 
     def score_users(self, user_indices: np.ndarray) -> np.ndarray:
+        """Score via the wrapped model, after the injector's fault check."""
         self._injector.check(self._site)
         return self._model.score_users(user_indices)
 
@@ -187,16 +189,20 @@ class FaultyEmbedder:
 
     @property
     def dim(self) -> int:
+        """Embedding dimensionality of the wrapped embedder."""
         return self._embedder.dim
 
     @property
     def is_fitted(self) -> bool:
+        """Whether the wrapped embedder has been fitted."""
         return self._embedder.is_fitted
 
     def fit(self, corpus: Sequence[str]) -> "FaultyEmbedder":
+        """Fit the wrapped embedder (never fault-injected) and return self."""
         self._embedder.fit(corpus)
         return self
 
     def encode(self, texts: Sequence[str]) -> np.ndarray:
+        """Encode via the wrapped embedder, after the fault check."""
         self._injector.check(self._site)
         return self._embedder.encode(texts)

@@ -98,13 +98,16 @@ class Deadline:
         budget_seconds: float | None,
         clock: Callable[[], float] = time.monotonic,
     ) -> "Deadline":
+        """Start a deadline now; ``None`` budget means unlimited."""
         return cls(budget_seconds, clock)
 
     @property
     def budget_seconds(self) -> float | None:
+        """The configured budget (``None`` for an unlimited deadline)."""
         return self._budget
 
     def elapsed(self) -> float:
+        """Seconds since the deadline started."""
         return self._clock() - self._started
 
     def remaining(self) -> float:
@@ -115,6 +118,7 @@ class Deadline:
 
     @property
     def expired(self) -> bool:
+        """Whether the budget is spent."""
         return self.remaining() <= 0
 
     def check(self, what: str = "request") -> None:

@@ -11,7 +11,7 @@ import math
 
 import numpy as np
 
-from repro.errors import NotFittedError
+from repro.errors import ConfigurationError, NotFittedError
 
 
 class TfidfModel:
@@ -39,9 +39,26 @@ class TfidfModel:
             for bucket, value in counts.items():
                 if value != 0.0:
                     df[bucket] += 1.0
-        n = len(documents)
-        self._idf = np.log((1.0 + n) / (1.0 + df)) + 1.0
-        self._n_documents = n
+        return self.fit_from_counts(df, len(documents))
+
+    def fit_from_counts(
+        self, document_frequencies: np.ndarray, n_documents: int
+    ) -> "TfidfModel":
+        """Fit from precomputed per-bucket document frequencies.
+
+        The distributed embedding path computes per-chunk frequency
+        histograms in workers and sums them in the parent; because the
+        frequencies are integer-valued, the summed array is bit-equal
+        to the one :meth:`fit` accumulates document by document.
+        """
+        df = np.asarray(document_frequencies, dtype=np.float64)
+        if df.shape != (self.dim,):
+            raise ConfigurationError(
+                f"document_frequencies must have shape ({self.dim},), "
+                f"got {df.shape}"
+            )
+        self._idf = np.log((1.0 + n_documents) / (1.0 + df)) + 1.0
+        self._n_documents = n_documents
         return self
 
     def transform(self, counts: dict[int, float]) -> np.ndarray:

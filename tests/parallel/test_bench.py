@@ -1,0 +1,66 @@
+"""Smoke tests for the parallel bench and its report rendering."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import render_parallel_bench_report
+from repro.parallel.bench import ParallelBenchConfig, run_parallel_bench
+
+#: One-cell, two-epoch micro bench: exercises every section in seconds.
+MICRO = replace(
+    ParallelBenchConfig(),
+    n_books=300, n_authors=110, n_bct_users=110, n_anobii_users=450,
+    min_user_readings=10, min_book_readings=3,
+    factor_grid=(5,), learning_rate_grid=(0.1,),
+    epochs=2, k=10, repeats=1, embed_repeat=1,
+)
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH_parallel.json"
+    return run_parallel_bench(MICRO, output_path=path)
+
+
+class TestRunParallelBench:
+    def test_sections_present(self, report):
+        assert {"bench", "config", "dataset", "grid", "embedding",
+                "merge"} <= set(report)
+        assert report["bench"] == "parallel"
+
+    @pytest.mark.parametrize("section", ["grid", "embedding", "merge"])
+    def test_each_section_is_identical_and_timed(self, report, section):
+        data = report[section]
+        assert data["identical"] is True
+        assert data["serial_seconds"] > 0
+        assert data["parallel_seconds"] > 0
+        assert data["speedup"] == pytest.approx(
+            data["serial_seconds"] / data["parallel_seconds"]
+        )
+
+    def test_grid_records_winner(self, report):
+        best = report["grid"]["best"]
+        assert best["n_factors"] == 5
+        assert best["learning_rate"] == 0.1
+
+    def test_json_written_and_parses(self, report):
+        path = report["output_path"]
+        on_disk = json.loads(open(path, encoding="utf-8").read())
+        # JSON round-trips the config's tuples into lists; compare via dump.
+        assert on_disk["config"] == json.loads(json.dumps(report["config"]))
+        assert on_disk["grid"]["identical"] is True
+
+    def test_no_output_path_skips_write(self):
+        tiny = replace(MICRO, factor_grid=(5,), epochs=1)
+        report = run_parallel_bench(tiny, output_path=None)
+        assert "output_path" not in report
+
+
+class TestRenderReport:
+    def test_render_names_all_sections(self, report):
+        rendered = render_parallel_bench_report(report)
+        for token in ("grid", "embedding", "merge", "identical", "x"):
+            assert token in rendered
+        assert "MISMATCH" not in rendered

@@ -1,0 +1,135 @@
+"""Serial vs thread vs process equivalence over the wired surfaces.
+
+The determinism contract (``docs/determinism.md``) promises that the
+parallel paths are *bit-identical* to their serial references — same
+grid winner, same embedding matrices, same merge report — on every
+backend. These tests pin that promise to the tiny world.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bpr import BPRConfig
+from repro.eval.grid import grid_search_bpr
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.pipeline import build_merged_dataset
+from repro.text import HashedTfidfEmbedder
+from repro.text.summary import MetadataSummaryBuilder
+
+from tests.conftest import TINY_MERGE
+
+GRID_KW = dict(
+    base_config=BPRConfig(epochs=2, seed=11),
+    factor_grid=(5, 10),
+    learning_rate_grid=(0.1,),
+    k=10,
+)
+
+#: Series whose value is a wall-clock measurement (``eval.fit_seconds``,
+#: ``bpr.batch_seconds``, ...) — the one legitimate difference between a
+#: serial and a parallel run.
+TIMING_MARKERS = ("seconds", "duration", "latency")
+
+
+def _strip_timing_series(snapshot: dict) -> dict:
+    return {
+        kind: {
+            name: series
+            for name, series in snapshot[kind].items()
+            if not any(marker in name for marker in TIMING_MARKERS)
+        }
+        for kind in ("counters", "gauges", "histograms")
+    }
+
+
+class TestGridEquivalence:
+    @pytest.fixture(scope="class")
+    def serial(self, tiny_split, tiny_merged):
+        return grid_search_bpr(tiny_split, tiny_merged, n_jobs=1, **GRID_KW)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_winner_and_points_identical(
+        self, serial, tiny_split, tiny_merged, backend
+    ):
+        parallel = grid_search_bpr(
+            tiny_split, tiny_merged, n_jobs=2, backend=backend, **GRID_KW
+        )
+        assert parallel.best == serial.best
+        assert parallel.points == serial.points
+
+    def test_metrics_identical_up_to_timing(self, tiny_split, tiny_merged):
+        def sweep(n_jobs):
+            metrics = MetricsRegistry()
+            grid_search_bpr(
+                tiny_split, tiny_merged, n_jobs=n_jobs,
+                backend="process" if n_jobs > 1 else "serial",
+                metrics=metrics, **GRID_KW,
+            )
+            return metrics.snapshot()
+
+        serial, parallel = sweep(1), sweep(2)
+        assert _strip_timing_series(serial) == _strip_timing_series(parallel)
+
+    def test_parallel_sweep_adopts_cell_spans(self, tiny_split, tiny_merged):
+        tracer = Tracer(seed=5)
+        grid_search_bpr(
+            tiny_split, tiny_merged, n_jobs=2, backend="process",
+            tracer=tracer, **GRID_KW,
+        )
+        names = [span.name for span in tracer.spans]
+        assert names.count("grid.cell") == 2
+        assert "grid.search" in names
+
+
+class TestEmbeddingEquivalence:
+    @pytest.fixture(scope="class")
+    def corpus(self, tiny_merged):
+        summaries = MetadataSummaryBuilder().build_all(tiny_merged)
+        return [summaries[key] for key in sorted(summaries)]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_fit_and_encode_identical(self, corpus, backend):
+        serial = HashedTfidfEmbedder(n_jobs=1).fit(corpus).encode(corpus)
+        parallel = (
+            HashedTfidfEmbedder(n_jobs=2, backend=backend)
+            .fit(corpus)
+            .encode(corpus)
+        )
+        assert np.array_equal(serial, parallel)
+
+    def test_parallel_fit_serial_encode_identical(self, corpus):
+        serial = HashedTfidfEmbedder(n_jobs=1).fit(corpus)
+        parallel = HashedTfidfEmbedder(n_jobs=2, backend="process").fit(corpus)
+        probe = corpus[:7]
+        assert np.array_equal(
+            serial.encode(probe),
+            # Encode through the serial path of the parallel-fitted model.
+            HashedTfidfEmbedder(n_jobs=1)
+            .fit(corpus)
+            .encode(probe),
+        )
+        assert np.array_equal(
+            serial._tfidf._idf, parallel._tfidf._idf
+        )
+
+
+class TestMergeEquivalence:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_report_and_tables_identical(self, tiny_sources, backend):
+        serial_data, serial_report = build_merged_dataset(
+            tiny_sources.bct, tiny_sources.anobii, TINY_MERGE, n_jobs=1
+        )
+        parallel_data, parallel_report = build_merged_dataset(
+            tiny_sources.bct, tiny_sources.anobii, TINY_MERGE,
+            n_jobs=2, backend=backend,
+        )
+        assert str(serial_report) == str(parallel_report)
+        for column in ("book_id", "title", "author"):
+            assert np.array_equal(
+                serial_data.books[column], parallel_data.books[column]
+            )
+        for column in ("user_id", "book_id", "source"):
+            assert np.array_equal(
+                serial_data.readings[column], parallel_data.readings[column]
+            )

@@ -1,0 +1,198 @@
+"""Unit tests for the WorkerPool and its helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    BACKENDS,
+    WorkerPool,
+    chunk_slices,
+    parallel_map,
+    resolve_n_jobs,
+    shared_payload,
+    task_seeds,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def _item_with_seed(item, seed):
+    return (item, seed)
+
+
+def _read_shared(_):
+    return shared_payload()
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+class TestResolveNJobs:
+    def test_identity_for_positive(self):
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(4) == 4
+
+    def test_all_cpus(self):
+        assert resolve_n_jobs(-1) >= 1
+
+    @pytest.mark.parametrize("bad", [0, -2, True, 1.5, "2"])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_n_jobs(bad)
+
+
+class TestChunkSlices:
+    @pytest.mark.parametrize("n_items,n_chunks", [
+        (0, 1), (1, 1), (5, 2), (10, 3), (3, 10), (100, 7),
+    ])
+    def test_covers_range_in_order(self, n_items, n_chunks):
+        slices = chunk_slices(n_items, n_chunks)
+        flat = [i for piece in slices for i in range(n_items)[piece]]
+        assert flat == list(range(n_items))
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [
+            piece.stop - piece.start for piece in chunk_slices(100, 7)
+        ]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_caps_chunks_at_items(self):
+        assert len(chunk_slices(3, 10)) == 3
+
+    def test_empty(self):
+        assert chunk_slices(0, 4) == []
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            chunk_slices(-1, 2)
+        with pytest.raises(ConfigurationError):
+            chunk_slices(5, 0)
+
+
+class TestTaskSeeds:
+    def test_deterministic(self):
+        assert task_seeds(7, "x", 5) == task_seeds(7, "x", 5)
+
+    def test_scopes_independent(self):
+        assert task_seeds(7, "a", 5) != task_seeds(7, "b", 5)
+
+    def test_count_zero(self):
+        assert task_seeds(7, "x", 0) == []
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            task_seeds(7, "x", -1)
+
+
+class TestWorkerPoolConstruction:
+    def test_auto_resolves_serial_for_one_job(self):
+        assert WorkerPool(n_jobs=1).backend == "serial"
+
+    def test_auto_resolves_process_for_many_jobs(self):
+        assert WorkerPool(n_jobs=2).backend == "process"
+
+    def test_explicit_backend_downgrades_to_serial_for_one_job(self):
+        assert WorkerPool(n_jobs=1, backend="process").backend == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(n_jobs=2, backend="gpu")
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(n_jobs=2, chunk_size=0)
+
+    def test_repr_names_backend(self):
+        assert "serial" in repr(WorkerPool(n_jobs=1))
+
+    def test_backends_constant(self):
+        assert BACKENDS == ("serial", "thread", "process")
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+class TestMapping:
+    def test_map_matches_serial_loop(self, backend):
+        items = list(range(23))
+        with WorkerPool(n_jobs=2, backend=backend) as pool:
+            assert pool.map(_square, items) == [x * x for x in items]
+
+    def test_starmap_matches_serial_loop(self, backend):
+        pairs = [(i, i + 1) for i in range(17)]
+        with WorkerPool(n_jobs=2, backend=backend) as pool:
+            assert pool.starmap(_add, pairs) == [a + b for a, b in pairs]
+
+    def test_map_seeded_is_backend_independent(self, backend):
+        items = list("abcdef")
+        with WorkerPool(n_jobs=2, backend=backend) as pool:
+            result = pool.map_seeded(_item_with_seed, items, seed=3, scope="t")
+        expected = list(zip(items, task_seeds(3, "t", len(items))))
+        assert result == expected
+
+    def test_empty_items(self, backend):
+        with WorkerPool(n_jobs=2, backend=backend) as pool:
+            assert pool.map(_square, []) == []
+
+    def test_exception_propagates(self, backend):
+        with WorkerPool(n_jobs=2, backend=backend) as pool:
+            with pytest.raises(ValueError, match="boom"):
+                pool.map(_boom, [1, 2, 3])
+
+    def test_shared_payload_reaches_workers(self, backend):
+        payload = {"answer": 42}
+        with WorkerPool(n_jobs=2, backend=backend, shared=payload) as pool:
+            results = pool.map(_read_shared, range(6))
+        assert all(result == payload for result in results)
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(n_jobs=2, backend="thread")
+        pool.map(_square, range(4))
+        pool.close()
+        pool.close()
+
+    def test_pool_usable_after_close(self):
+        pool = WorkerPool(n_jobs=2, backend="thread")
+        pool.map(_square, range(4))
+        pool.close()
+        assert pool.map(_square, [3]) == [9]
+        pool.close()
+
+    def test_executor_is_reused_across_maps(self):
+        pool = WorkerPool(n_jobs=2, backend="thread")
+        pool.map(_square, range(4))
+        first = pool._live_executor
+        pool.map(_square, range(4))
+        assert pool._live_executor is first
+        pool.close()
+
+    def test_serial_shared_slot_restored(self):
+        before = shared_payload()
+        pool = WorkerPool(n_jobs=1, shared="payload")
+        assert pool.map(_read_shared, range(3)) == ["payload"] * 3
+        assert shared_payload() == before
+
+    def test_with_shared_builds_fresh_pool(self):
+        pool = WorkerPool(n_jobs=2, backend="thread", chunk_size=3)
+        other = pool.with_shared({"k": 1})
+        assert other is not pool
+        assert other.n_jobs == pool.n_jobs
+        assert other.backend == pool.backend
+        assert other.chunk_size == pool.chunk_size
+        assert other.shared == {"k": 1}
+
+
+class TestParallelMapFunction:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_matches_serial_loop(self, backend):
+        items = list(range(11))
+        assert parallel_map(
+            _square, items, n_jobs=2, backend=backend
+        ) == [x * x for x in items]

@@ -22,10 +22,35 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "fig2"])
         assert args.scale == "default"
         assert args.seed is None
+        assert args.jobs is None
+
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["--jobs", "2", "suite"])
+        assert args.jobs == 2
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_epilog_lists_every_subcommand(self):
+        """The --help epilog must stay in sync with the registered commands."""
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+            and "experiment" in action.choices
+        )
+        for command in subparsers.choices:
+            assert command in parser.epilog, (
+                f"command {command!r} missing from the --help epilog"
+            )
+
+    def test_help_shows_epilog(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "bench-parallel" in out
+        assert "metrics" in out
 
 
 class TestCommands:
@@ -60,6 +85,36 @@ class TestCommands:
         assert main(["--scale", "small", "serve-demo"]) == 0
         out = capsys.readouterr().out
         assert "mean latency" in out
+
+    def test_gridsearch_with_jobs_matches_serial(self, capsys):
+        assert main(
+            ["--scale", "small", "--jobs", "2", "experiment", "gridsearch"]
+        ) == 0
+        parallel = capsys.readouterr().out
+        assert main(
+            ["--scale", "small", "experiment", "gridsearch"]
+        ) == 0
+        serial = capsys.readouterr().out
+        assert parallel == serial
+        assert "best:" in serial
+
+
+class TestBenchParallelCommand:
+    def test_quick_bench_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "bench.json"
+        assert main([
+            "bench-parallel", "--quick", "--repeats", "1",
+            "--bench-output", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "parallel bench" in out
+        assert "MISMATCH" not in out
+
+        import json
+
+        report = json.loads(target.read_text())
+        for section in ("grid", "embedding", "merge"):
+            assert report[section]["identical"] is True
 
 
 class TestHealth:
