@@ -1,19 +1,13 @@
 #!/usr/bin/env python
-"""Docstring-coverage gate for the growth-layer packages.
+"""Docstring-coverage gate for the growth-layer packages (thin shim).
 
-Walks the packages named in :data:`CHECKED_PACKAGES` with ``ast`` (no
-imports, so it is fast and side-effect free) and requires a docstring
-on:
-
-- every module,
-- every public class,
-- every public function and public method.
-
-"Public" means the name does not start with ``_`` and is not inside a
-private class; ``__init__`` and friends are exempt (the class docstring
-documents construction — argparse-style), as are ``@overload`` stubs.
-CI runs this so new public surface in the parallel, observability, and
-resilience layers cannot land undocumented.
+The checking logic lives in :mod:`repro.analysis.rules.docs`, where it
+runs as the ``docstrings`` rule of ``python -m repro check`` alongside
+the other repository invariants. This script keeps the original
+standalone CLI and exit codes so CI and existing tests are untouched:
+it bootstraps ``src/`` onto ``sys.path`` (stdlib only — the docs CI job
+has no third-party packages installed) and re-exports the rule's
+functions under their historical names.
 
 Usage::
 
@@ -22,77 +16,31 @@ Usage::
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-#: Packages (relative to ``src/``) whose public API must be documented.
-CHECKED_PACKAGES = (
-    "repro/parallel",
-    "repro/obs",
-    "repro/resilience",
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.rules.docs import (  # noqa: E402
+    CHECKED_PACKAGES,
+    check_packages,
+    missing_docstrings,
+    missing_docstrings_in_tree,
 )
 
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _has_docstring(node: ast.AST) -> bool:
-    return ast.get_docstring(node, clean=False) is not None
-
-
-def _missing_in_scope(
-    node: ast.AST, scope: str, public_scope: bool
-) -> list[tuple[int, str]]:
-    """``(line, qualified name)`` for every undocumented public def."""
-    missing: list[tuple[int, str]] = []
-    for child in ast.iter_child_nodes(node):
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if not public_scope or not _is_public(child.name):
-                continue
-            qualified = f"{scope}{child.name}"
-            if not _has_docstring(child):
-                missing.append((child.lineno, f"function {qualified}"))
-        elif isinstance(child, ast.ClassDef):
-            class_public = public_scope and _is_public(child.name)
-            qualified = f"{scope}{child.name}"
-            if class_public and not _has_docstring(child):
-                missing.append((child.lineno, f"class {qualified}"))
-            missing.extend(
-                _missing_in_scope(child, f"{qualified}.", class_public)
-            )
-    return missing
-
-
-def missing_docstrings(path: Path) -> list[tuple[int, str]]:
-    """All undocumented public definitions in one source file."""
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    missing = []
-    if not _has_docstring(tree):
-        missing.append((1, "module"))
-    missing.extend(_missing_in_scope(tree, "", True))
-    return missing
-
-
-def check_packages(src_root: Path) -> list[str]:
-    """Failure lines for every undocumented definition under the gate."""
-    failures = []
-    for package in CHECKED_PACKAGES:
-        package_root = src_root / package
-        if not package_root.is_dir():
-            failures.append(f"{package}: package directory missing")
-            continue
-        for path in sorted(package_root.rglob("*.py")):
-            for line, what in missing_docstrings(path):
-                failures.append(
-                    f"{path.relative_to(src_root)}:{line}: "
-                    f"missing docstring on {what}"
-                )
-    return failures
+__all__ = [
+    "CHECKED_PACKAGES",
+    "check_packages",
+    "missing_docstrings",
+    "missing_docstrings_in_tree",
+    "main",
+]
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Check the gated packages under ``src-root``; 0 = fully documented."""
     argv = sys.argv[1:] if argv is None else argv
     src_root = (
         Path(argv[0]).resolve()

@@ -1,13 +1,13 @@
 #!/usr/bin/env python
-"""Fail on broken intra-repo links in the markdown documentation.
+"""Fail on broken intra-repo markdown links (thin shim).
 
-Scans every tracked ``*.md`` file under the repository root (and
-``docs/``) for markdown links ``[text](target)``. External targets
-(``http(s)://``, ``mailto:``) and pure in-page anchors (``#section``)
-are ignored; every other target must resolve to an existing file or
-directory relative to the file that links it (an ``#anchor`` suffix is
-stripped before the check). CI runs this so documentation cannot drift
-ahead of the tree it describes.
+The checking logic lives in :mod:`repro.analysis.rules.docs`, where it
+runs as the ``links`` rule of ``python -m repro check`` alongside the
+other repository invariants. This script keeps the original standalone
+CLI and exit codes so CI and existing tests are untouched: it
+bootstraps ``src/`` onto ``sys.path`` (stdlib only — the docs CI job
+has no third-party packages installed) and re-exports the rule's
+functions under their historical names.
 
 Usage::
 
@@ -16,67 +16,41 @@ Usage::
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-#: ``[text](target)`` — target captured lazily so nested parens in text
-#: don't confuse the scan; images (``![alt](...)``) match too, which is
-#: intended.
-LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-#: Directories never scanned for markdown sources.
-SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", "node_modules"}
+from repro.analysis.rules.docs import (  # noqa: E402
+    EXTERNAL_PREFIXES,
+    LINK_PATTERN,
+    SKIP_DIRS,
+    broken_links,
+    check_tree,
+    markdown_files,
+)
 
-EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
-
-
-def markdown_files(root: Path) -> list[Path]:
-    """Every ``*.md`` under ``root``, skipping VCS/cache directories."""
-    return sorted(
-        path
-        for path in root.rglob("*.md")
-        if not any(part in SKIP_DIRS for part in path.parts)
-    )
-
-
-def broken_links(path: Path, root: Path) -> list[tuple[int, str]]:
-    """``(line number, target)`` for every unresolvable link in ``path``."""
-    failures: list[tuple[int, str]] = []
-    for line_number, line in enumerate(
-        path.read_text(encoding="utf-8").splitlines(), start=1
-    ):
-        for match in LINK_PATTERN.finditer(line):
-            target = match.group(1)
-            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
-                continue
-            relative = target.split("#", 1)[0]
-            if not relative:
-                continue
-            if relative.startswith("/"):
-                resolved = root / relative.lstrip("/")
-            else:
-                resolved = path.parent / relative
-            if not resolved.exists():
-                failures.append((line_number, target))
-    return failures
-
-
-def check_tree(root: Path) -> list[str]:
-    """Human-readable failure lines for every broken link under ``root``."""
-    failures = []
-    for path in markdown_files(root):
-        for line_number, target in broken_links(path, root):
-            failures.append(
-                f"{path.relative_to(root)}:{line_number}: broken link -> "
-                f"{target}"
-            )
-    return failures
+__all__ = [
+    "EXTERNAL_PREFIXES",
+    "LINK_PATTERN",
+    "SKIP_DIRS",
+    "broken_links",
+    "check_tree",
+    "markdown_files",
+    "main",
+]
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Check every markdown file under ``root``; 0 = all links resolve."""
     argv = sys.argv[1:] if argv is None else argv
-    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
+    root = (
+        Path(argv[0]).resolve()
+        if argv
+        else Path(__file__).resolve().parent.parent
+    )
     failures = check_tree(root)
     if failures:
         print(f"{len(failures)} broken intra-repo link(s):")

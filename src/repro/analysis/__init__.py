@@ -1,0 +1,66 @@
+"""Static invariant analysis: ``python -m repro check``.
+
+A pluggable AST-based analyzer enforcing the invariants the test suite
+can only sample: determinism (seeded randomness, no wall-clock reads),
+layering (the declared package DAG, cycle-free), lock discipline
+(consistent ``with self._lock`` guarding), exception hygiene (no
+silently swallowed failures), and docs integrity (docstring coverage,
+intra-repo markdown links).
+
+Entry points:
+
+- :func:`~repro.analysis.runner.run_check` — programmatic API (the
+  tier-1 gate and the CLI both call it);
+- ``python -m repro check [--format text|json] [--rule id] [paths]`` —
+  the command-line front end (exit 1 on any surviving finding);
+- ``# repro: allow[rule-id] — justification`` — inline suppression;
+- ``repro check --write-baseline`` — grandfather an existing backlog.
+
+See ``docs/static-analysis.md`` for the rule catalogue and the guide to
+adding a rule. Everything in this package is stdlib-only so the shimmed
+doc checkers keep running in dependency-free CI jobs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+)
+from repro.analysis.model import ProjectModel, SourceFile, build_project
+from repro.analysis.rules import (
+    DeterminismRule,
+    DocstringRule,
+    ExceptionHygieneRule,
+    LayeringRule,
+    LayerSpec,
+    LinkRule,
+    LockDisciplineRule,
+    Rule,
+    default_rules,
+)
+from repro.analysis.runner import CheckResult, run_check
+from repro.analysis.suppress import load_baseline, write_baseline
+
+__all__ = [
+    "Finding",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "ProjectModel",
+    "SourceFile",
+    "build_project",
+    "Rule",
+    "DeterminismRule",
+    "LayeringRule",
+    "LayerSpec",
+    "LockDisciplineRule",
+    "ExceptionHygieneRule",
+    "DocstringRule",
+    "LinkRule",
+    "default_rules",
+    "CheckResult",
+    "run_check",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,49 @@
+"""The :class:`Finding` record every analysis rule reports.
+
+A finding pins one invariant violation to a file and line. Findings are
+value objects: rules yield them, the runner sorts, de-duplicates,
+suppresses (inline pragma or baseline), and renders them. The
+*fingerprint* — ``rule::path::message``, deliberately line-free — is the
+identity used by the baseline file, so grandfathered findings survive
+unrelated edits that shift line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: A finding that must fail the build.
+SEVERITY_ERROR = "error"
+
+#: A finding reported but advisory (reserved for future rules).
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at ``path:line``, reported by ``rule``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline file."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def as_dict(self) -> dict:
+        """A JSON-serialisable view (the ``--format json`` entry)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line: [rule] message``."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"

@@ -1,0 +1,41 @@
+"""The built-in rule catalogue.
+
+:func:`default_rules` instantiates one of each shipped rule; the runner
+(and ``python -m repro check --rule``) filters by
+:attr:`~repro.analysis.rules.base.Rule.rule_id`. Adding a rule means
+subclassing :class:`~repro.analysis.rules.base.Rule`, giving it a stable
+id, and listing it here — see ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.docs import DocstringRule, LinkRule
+from repro.analysis.rules.exceptions import ExceptionHygieneRule
+from repro.analysis.rules.layering import LayeringRule, LayerSpec
+from repro.analysis.rules.locks import LockDisciplineRule
+
+__all__ = [
+    "Rule",
+    "DeterminismRule",
+    "LayeringRule",
+    "LayerSpec",
+    "LockDisciplineRule",
+    "ExceptionHygieneRule",
+    "DocstringRule",
+    "LinkRule",
+    "default_rules",
+]
+
+
+def default_rules() -> list[Rule]:
+    """One fresh instance of every shipped rule, in report order."""
+    return [
+        DeterminismRule(),
+        LayeringRule(),
+        LockDisciplineRule(),
+        ExceptionHygieneRule(),
+        DocstringRule(),
+        LinkRule(),
+    ]

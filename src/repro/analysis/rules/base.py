@@ -1,0 +1,48 @@
+"""The :class:`Rule` plug-in contract.
+
+A rule is a stateless object with a stable ``rule_id`` (the name used by
+``--rule``, inline pragmas, and the baseline) and two hooks:
+
+- :meth:`Rule.check_file` — called once per analyzed Python file with the
+  shared :class:`~repro.analysis.model.ProjectModel`; the place for
+  AST-local checks (determinism, locks, exceptions, docstrings);
+- :meth:`Rule.check_project` — called once per run after every file; the
+  place for whole-graph checks (layering, import cycles, markdown
+  links).
+
+Both return iterables of :class:`~repro.analysis.findings.Finding`; the
+runner owns ordering, suppression, and rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel, SourceFile
+
+
+class Rule:
+    """Base class every analysis rule extends."""
+
+    #: Stable identifier used by ``--rule``, pragmas, and baselines.
+    rule_id: str = ""
+
+    #: One-line summary shown in ``repro check --help`` style listings.
+    description: str = ""
+
+    def check_file(
+        self, source: SourceFile, model: ProjectModel
+    ) -> Iterable[Finding]:
+        """Findings local to one parsed file (default: none)."""
+        return ()
+
+    def check_project(self, model: ProjectModel) -> Iterable[Finding]:
+        """Findings over the whole project model (default: none)."""
+        return ()
+
+    def finding(self, relpath: str, line: int, message: str) -> Finding:
+        """Convenience constructor stamping this rule's id."""
+        return Finding(
+            path=relpath, line=line, rule=self.rule_id, message=message
+        )

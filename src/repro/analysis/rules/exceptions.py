@@ -1,0 +1,104 @@
+"""Exception-hygiene rule: no silently swallowed failures.
+
+The resilience layer's contract is "degrade, don't fail" — but a broad
+``except`` that neither re-raises, logs, nor counts the failure is not
+degradation, it is amnesia: the fallback fires and nobody ever learns
+the primary is down. This rule flags:
+
+- bare ``except:`` — always (it also catches ``SystemExit`` and
+  ``KeyboardInterrupt``);
+- ``except Exception`` / ``except BaseException`` handlers whose body
+  does none of: re-raise (any ``raise``), log (a call to a
+  ``debug``/``info``/``warning``/``error``/``exception``/``critical``/
+  ``log`` method), or account the failure in a metric (a call to an
+  ``inc`` or ``observe`` method).
+
+Intentional broad catches — the service fallback chain routes failures
+into :meth:`ServiceStats.note_error` via helpers this rule cannot see
+through — carry an inline ``# repro: allow[exceptions]`` pragma with the
+justification on the handler line, replacing the old ``# noqa: BLE001``
+convention.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel, SourceFile
+from repro.analysis.rules.base import Rule
+
+#: Method names whose call counts as "the failure was logged".
+LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+
+#: Method names whose call counts as "the failure was counted".
+METRIC_METHODS = frozenset({"inc", "observe"})
+
+#: Exception names considered a broad catch.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _exception_names(node: ast.expr | None) -> Iterable[str]:
+    if node is None:
+        return
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        if isinstance(element, ast.Name):
+            yield element.id
+        elif isinstance(element, ast.Attribute):
+            yield element.attr
+
+
+def _handler_mitigates(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if name in LOG_METHODS or name in METRIC_METHODS:
+                return True
+    return False
+
+
+class ExceptionHygieneRule(Rule):
+    """Flag bare excepts and silent broad catches."""
+
+    rule_id = "exceptions"
+    description = (
+        "no bare except; broad except must re-raise, log, or count the "
+        "failure"
+    )
+
+    def check_file(
+        self, source: SourceFile, model: ProjectModel
+    ) -> Iterable[Finding]:
+        """Flag every unhygienic ``except`` handler in one file."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    source.relpath,
+                    node.lineno,
+                    "bare 'except:' also catches SystemExit and "
+                    "KeyboardInterrupt; catch the exception type you mean",
+                )
+                continue
+            caught = set(_exception_names(node.type))
+            if caught & BROAD_NAMES and not _handler_mitigates(node):
+                broad = sorted(caught & BROAD_NAMES)[0]
+                yield self.finding(
+                    source.relpath,
+                    node.lineno,
+                    f"'except {broad}' swallows the failure silently; "
+                    "re-raise, log, or count it in a metric (or justify "
+                    "with '# repro: allow[exceptions]')",
+                )

@@ -1,0 +1,224 @@
+"""Lock-discipline rule: lock-owning classes mutate state consistently.
+
+Classes that create a ``self._lock`` (``ServiceStats``,
+``CircuitBreaker``, the metrics instruments) promise their mutable
+attributes move only under that lock. The classic regression — the one
+this rule exists to catch statically — is an attribute that *is* guarded
+on the hot path but also mutated lock-free somewhere colder (a reset
+helper, a merge), silently racing the hot path.
+
+The check: within a class that assigns ``self._lock``, an instance
+attribute mutated both **inside** a ``with self._lock:`` block and
+**outside** one is flagged at every unlocked site. Two escape hatches
+encode the legitimate patterns:
+
+- constructor-phase methods (``__init__``, ``__post_init__``,
+  ``__new__``, ``__setstate__``) are ignored — no other thread can hold
+  a reference yet;
+- methods whose name ends in ``_locked`` assert "caller holds the lock"
+  and count as locked context (the convention ``CircuitBreaker``'s
+  private transition helpers follow).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel, SourceFile
+from repro.analysis.rules.base import Rule
+
+#: Methods that run before the instance is shared between threads.
+CONSTRUCTOR_METHODS = frozenset(
+    {"__init__", "__post_init__", "__new__", "__setstate__"}
+)
+
+#: The attribute name the rule keys ownership on.
+LOCK_ATTR = "_lock"
+
+
+def _is_self_attr(node: ast.AST, attr: str | None = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def _mutated_attrs(stmt: ast.stmt) -> Iterator[str]:
+    """Instance attributes a single statement assigns or augments."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, ast.AugAssign):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets = [stmt.target]
+    for target in targets:
+        elements = target.elts if isinstance(target, ast.Tuple) else [target]
+        for element in elements:
+            if _is_self_attr(element) and element.attr != LOCK_ATTR:
+                yield element.attr
+
+
+def _holds_lock(node: ast.With) -> bool:
+    return any(
+        _is_self_attr(item.context_expr, LOCK_ATTR)
+        for item in node.items
+    )
+
+
+class LockDisciplineRule(Rule):
+    """Flag mixed locked/unlocked mutation of one attribute."""
+
+    rule_id = "locks"
+    description = (
+        "in classes owning a _lock, attributes guarded on one path must "
+        "be guarded on all paths"
+    )
+
+    def check_file(
+        self, source: SourceFile, model: ProjectModel
+    ) -> Iterable[Finding]:
+        """Check every lock-owning class defined in ``source``.
+
+        Lock ownership is inherited: a class whose (same-file) base
+        assigns ``self._lock`` owns the lock too, so subclasses of a
+        locked base are held to the same discipline.
+        """
+        classes = [
+            node
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        by_name = {cls.name: cls for cls in classes}
+        owners: set[str] = set()
+        for cls in classes:
+            if self._resolves_lock(cls, by_name, set()):
+                owners.add(cls.name)
+        for cls in classes:
+            if cls.name in owners:
+                yield from self._check_class(source, cls)
+
+    def _resolves_lock(
+        self,
+        cls: ast.ClassDef,
+        by_name: dict[str, ast.ClassDef],
+        seen: set[str],
+    ) -> bool:
+        if cls.name in seen:
+            return False
+        seen.add(cls.name)
+        if any(
+            self._assigns_lock(method)
+            for method in cls.body
+            if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            return True
+        for base in cls.bases:
+            name = base.id if isinstance(base, ast.Name) else None
+            if name in by_name and self._resolves_lock(
+                by_name[name], by_name, seen
+            ):
+                return True
+        return False
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        methods = [
+            child
+            for child in cls.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        locked: dict[str, int] = {}
+        unlocked: list[tuple[str, int, str]] = []
+        for method in methods:
+            if method.name in CONSTRUCTOR_METHODS:
+                continue
+            in_locked_method = method.name.endswith("_locked")
+            self._scan(
+                method.body, in_locked_method, method.name, locked, unlocked
+            )
+        for attr, line, method_name in unlocked:
+            if attr in locked:
+                yield self.finding(
+                    source.relpath,
+                    line,
+                    f"'{cls.name}.{attr}' is mutated in '{method_name}' "
+                    "outside 'with self._lock' but under the lock at line "
+                    f"{locked[attr]}; hold the lock here (or mark the "
+                    "method caller-holds-lock with a '_locked' suffix)",
+                )
+
+    @staticmethod
+    def _assigns_lock(method: ast.AST) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and any(
+                _is_self_attr(target, LOCK_ATTR) for target in node.targets
+            ):
+                return True
+        return False
+
+    def _scan(
+        self,
+        stmts: list[ast.stmt],
+        locked_context: bool,
+        method_name: str,
+        locked: dict[str, int],
+        unlocked: list[tuple[str, int, str]],
+    ) -> None:
+        for stmt in stmts:
+            for attr in _mutated_attrs(stmt):
+                if locked_context:
+                    locked.setdefault(attr, stmt.lineno)
+                else:
+                    unlocked.append((attr, stmt.lineno, method_name))
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._scan(
+                    stmt.body,
+                    locked_context or _holds_lock(stmt),
+                    method_name,
+                    locked,
+                    unlocked,
+                )
+            elif isinstance(stmt, (ast.If,)):
+                self._scan(
+                    stmt.body, locked_context, method_name, locked, unlocked
+                )
+                self._scan(
+                    stmt.orelse, locked_context, method_name, locked, unlocked
+                )
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self._scan(
+                    stmt.body, locked_context, method_name, locked, unlocked
+                )
+                self._scan(
+                    stmt.orelse, locked_context, method_name, locked, unlocked
+                )
+            elif isinstance(stmt, ast.Try):
+                self._scan(
+                    stmt.body, locked_context, method_name, locked, unlocked
+                )
+                for handler in stmt.handlers:
+                    self._scan(
+                        handler.body, locked_context, method_name, locked,
+                        unlocked,
+                    )
+                self._scan(
+                    stmt.orelse, locked_context, method_name, locked, unlocked
+                )
+                self._scan(
+                    stmt.finalbody, locked_context, method_name, locked,
+                    unlocked,
+                )
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                # A closure defined here typically runs in the enclosing
+                # context; scan it with the context of its definition.
+                self._scan(
+                    stmt.body, locked_context, method_name, locked, unlocked
+                )

@@ -1,0 +1,222 @@
+"""Orchestration: build the model, run the rules, filter, render.
+
+:func:`run_check` is the single entry point behind ``python -m repro
+check``, the tier-1 gate (``tests/analysis/test_src_clean.py``), and the
+CI job. It builds one :class:`~repro.analysis.model.ProjectModel`, runs
+every requested rule's per-file and per-project hooks, then applies the
+two suppression layers (inline pragmas matched against the raw flagged
+line, then the baseline file) and returns a :class:`CheckResult`.
+
+Everything here is stdlib-only on purpose: the docs CI job runs the
+shimmed checkers without numpy installed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel, build_project
+from repro.analysis.rules import Rule, default_rules
+from repro.analysis.suppress import is_suppressed, load_baseline
+
+#: Markers that identify the repository root when walking upwards.
+ROOT_MARKERS = ("pyproject.toml", ".git")
+
+#: Schema version stamped into ``--format json`` output.
+JSON_VERSION = 1
+
+
+@dataclass
+class CheckResult:
+    """The outcome of one analyzer run."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int = 0
+    baselined: int = 0
+    root: Path = field(default_factory=Path)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (exit code 0)."""
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """``rule id -> surviving finding count`` (sorted by id)."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict:
+        """The ``--format json`` payload."""
+        return {
+            "version": JSON_VERSION,
+            "root": str(self.root),
+            "files_checked": self.files_checked,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "counts": {
+                "total": len(self.findings),
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "by_rule": self.counts_by_rule(),
+            },
+        }
+
+    def render_text(self) -> str:
+        """The human-readable report (one line per finding + summary)."""
+        lines = [finding.render() for finding in self.findings]
+        if self.findings:
+            by_rule = ", ".join(
+                f"{rule}={count}"
+                for rule, count in self.counts_by_rule().items()
+            )
+            lines.append(
+                f"repro check: {len(self.findings)} finding(s) "
+                f"[{by_rule}] in {self.files_checked} file(s)"
+            )
+        else:
+            extras = []
+            if self.suppressed:
+                extras.append(f"{self.suppressed} suppressed")
+            if self.baselined:
+                extras.append(f"{self.baselined} baselined")
+            suffix = f" ({', '.join(extras)})" if extras else ""
+            lines.append(
+                f"repro check: clean — {self.files_checked} file(s), "
+                f"0 findings{suffix}"
+            )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """The machine-readable report."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+
+def detect_root(paths: Sequence[Path]) -> Path:
+    """The nearest ancestor of the first path that looks like a repo root."""
+    start = Path(paths[0]).resolve() if paths else Path.cwd()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        if any((candidate / marker).exists() for marker in ROOT_MARKERS):
+            return candidate
+    return start
+
+
+def select_rules(
+    rules: Iterable[Rule], rule_ids: Sequence[str] | None
+) -> list[Rule]:
+    """The subset of ``rules`` matching ``rule_ids`` (all when ``None``).
+
+    Raises:
+        ValueError: when an id names no known rule.
+    """
+    rules = list(rules)
+    if not rule_ids:
+        return rules
+    known = {rule.rule_id: rule for rule in rules}
+    missing = [rule_id for rule_id in rule_ids if rule_id not in known]
+    if missing:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(missing))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return [known[rule_id] for rule_id in rule_ids]
+
+
+def run_check(
+    paths: Sequence[Path | str],
+    root: Path | str | None = None,
+    rules: Iterable[Rule] | None = None,
+    rule_ids: Sequence[str] | None = None,
+    baseline: Path | str | None = None,
+) -> CheckResult:
+    """Run the analyzer over ``paths`` and return the filtered result.
+
+    Args:
+        paths: files or directories of Python sources to analyze.
+        root: repository root for relative paths and markdown scanning;
+            auto-detected from the first path when omitted.
+        rules: rule instances to run (default: :func:`default_rules`).
+        rule_ids: optional ordered filter over the rules' ids.
+        baseline: optional baseline file of grandfathered fingerprints.
+    """
+    path_list = [Path(p) for p in paths]
+    resolved_root = (
+        Path(root).resolve() if root is not None else detect_root(path_list)
+    )
+    active = select_rules(
+        default_rules() if rules is None else rules, rule_ids
+    )
+    model = build_project(path_list, resolved_root)
+    raw: list[Finding] = []
+    for rule in active:
+        for source in model.files:
+            raw.extend(rule.check_file(source, model))
+        raw.extend(rule.check_project(model))
+    raw = sorted(set(raw))
+
+    kept: list[Finding] = []
+    suppressed = 0
+    line_cache: dict[str, list[str]] = {}
+    for finding in raw:
+        texts = (
+            _line_text(finding, finding.line, resolved_root, model,
+                       line_cache),
+            _line_text(finding, finding.line - 1, resolved_root, model,
+                       line_cache),
+        )
+        if any(is_suppressed(finding, text) for text in texts):
+            suppressed += 1
+        else:
+            kept.append(finding)
+
+    baselined = 0
+    if baseline is not None and Path(baseline).exists():
+        grandfathered = load_baseline(Path(baseline))
+        surviving = []
+        for finding in kept:
+            if finding.fingerprint in grandfathered:
+                baselined += 1
+            else:
+                surviving.append(finding)
+        kept = surviving
+
+    return CheckResult(
+        findings=kept,
+        files_checked=len(model.files),
+        suppressed=suppressed,
+        baselined=baselined,
+        root=resolved_root,
+    )
+
+
+def _line_text(
+    finding: Finding,
+    line: int,
+    root: Path,
+    model: ProjectModel,
+    cache: dict[str, list[str]],
+) -> str:
+    """The raw text of line ``line`` of a finding's file ("" if absent)."""
+    lines = cache.get(finding.path)
+    if lines is None:
+        for source in model.files:
+            if source.relpath == finding.path:
+                lines = source.lines
+                break
+        else:
+            target = root / finding.path
+            try:
+                lines = target.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                lines = []
+        cache[finding.path] = lines
+    if 1 <= line <= len(lines):
+        return lines[line - 1]
+    return ""

@@ -1,0 +1,74 @@
+"""Inline suppression pragmas and the committed findings baseline.
+
+Two escape hatches keep the analyzer's "must run clean" gate livable:
+
+- the **inline pragma** ``# repro: allow[rule-id]`` on the flagged line
+  — or on its own line directly above, for statements with no room —
+  silences that rule there (comma-separate several ids; everything
+  after the closing bracket is the human justification). The same
+  syntax works inside markdown (``<!-- repro: allow[links] -->``)
+  because suppression is matched against the raw line text, whatever
+  the file type;
+- the **baseline file** — JSON produced by ``repro check
+  --write-baseline`` — grandfathers existing findings by their
+  line-independent :attr:`~repro.analysis.findings.Finding.fingerprint`,
+  so a rule can be introduced strictly ("no *new* findings") before the
+  backlog is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+#: ``# repro: allow[rule-id, other-id] — justification`` (the ``<!--``
+#: opener covers markdown, where the pragma lives in an HTML comment).
+PRAGMA_PATTERN = re.compile(r"(?:#|<!--)\s*repro:\s*allow\[([^\]]+)\]")
+
+#: Version stamp written into (and required from) baseline files.
+BASELINE_VERSION = 1
+
+
+def allowed_rules(line: str) -> set[str]:
+    """Rule ids suppressed by pragmas on this raw source line."""
+    rules: set[str] = set()
+    for match in PRAGMA_PATTERN.finditer(line):
+        rules.update(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+    return rules
+
+
+def is_suppressed(finding: Finding, line: str) -> bool:
+    """Whether the raw text of the flagged line suppresses ``finding``."""
+    return finding.rule in allowed_rules(line)
+
+
+def load_baseline(path: Path) -> set[str]:
+    """The grandfathered fingerprints recorded in a baseline file.
+
+    Raises:
+        ValueError: when the file is not a baseline of a known version.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path} is not a repro-check baseline "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    return set(data.get("findings", []))
+
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> None:
+    """Write ``findings`` as the new baseline at ``path``."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted({finding.fingerprint for finding in findings}),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

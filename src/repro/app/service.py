@@ -568,7 +568,7 @@ class RecommendationService:
             indices = np.asarray([index for _, index in entries], dtype=np.int64)
             try:
                 batches = self._primary_batch(indices, k)
-            except Exception as exc:  # noqa: BLE001 — degrade, never fail
+            except Exception as exc:  # repro: allow[exceptions] — degrade, never fail
                 self.breaker.record_failure()
                 self._note_error(exc)
                 error = f"{type(exc).__name__}: {exc}"
@@ -695,7 +695,7 @@ class RecommendationService:
                         books=tuple(self._serve_books(items, k)),
                         served_by=SERVED_BY_PRIMARY,
                     )
-                except Exception as exc:  # noqa: BLE001 — degrade, never fail
+                except Exception as exc:  # repro: allow[exceptions] — degrade, never fail
                     self.breaker.record_failure()
                     self._note_error(exc)
                     error = f"{type(exc).__name__}: {exc}"
@@ -716,7 +716,7 @@ class RecommendationService:
                     books=tuple(self._serve_books(items, k)),
                     served_by=SERVED_BY_MOST_READ,
                 )
-            except Exception as exc:  # noqa: BLE001
+            except Exception as exc:  # repro: allow[exceptions] — cold-start chain degrades
                 self._note_error(exc)
                 items, source = self._static_items(None, k)
                 return ServedResponse(
@@ -782,7 +782,7 @@ class RecommendationService:
                 if len(seen):
                     items = items[~np.isin(items, seen)]
                 return items[:k], SERVED_BY_MOST_READ
-            except Exception as exc:  # noqa: BLE001 — fall further
+            except Exception as exc:  # repro: allow[exceptions] — fall further down the chain
                 self._note_error(exc)
         return self._static_items(user_index, k)
 

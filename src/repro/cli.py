@@ -22,6 +22,9 @@ Commands:
   clocks so the output is bit-reproducible (the golden-test setting).
 - ``bench-parallel`` — run the serial-vs-parallel bench (grid search,
   embedding, merge pipeline) and write ``BENCH_parallel.json``.
+- ``check [paths]`` — run the static analyzer (determinism, layering,
+  lock discipline, exception hygiene, docs integrity) over the given
+  paths (default ``src``); exits 1 when findings survive suppression.
 
 The global ``--jobs N`` flag parallelises the merge pipeline and the
 grid search across N worker processes; results are bit-identical to
@@ -53,6 +56,7 @@ commands:
   bench-parallel      serial-vs-parallel bench -> BENCH_parallel.json
   health <path>       verify artefact checksum manifests (exit 1 = corrupt)
   metrics <path>      instrumented demo -> metrics snapshot JSON
+  check [paths]       run the static analyzer (exit 1 = findings)
 
 run `python -m repro <command> --help` for per-command options.
 """
@@ -155,6 +159,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--deterministic", action="store_true",
         help="pin tracer/service clocks for bit-reproducible output",
     )
+
+    check = sub.add_parser(
+        "check",
+        help="run the static analyzer over source paths",
+    )
+    check.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    check.add_argument(
+        "--rule", action="append", default=None, metavar="RULE-ID",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    check.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file of grandfathered findings to ignore",
+    )
+    check.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write surviving findings as a new baseline and exit 0",
+    )
+    check.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repository root (default: auto-detected from the first path)",
+    )
     return parser
 
 
@@ -166,6 +199,8 @@ def main(argv: list[str] | None = None) -> int:
         return _metrics(args)
     if args.command == "bench-parallel":
         return _bench_parallel(args)
+    if args.command == "check":
+        return _check(args)
     config = config_for_scale(args.scale, seed=args.seed, n_jobs=args.jobs)
     context = ExperimentContext(config)
     if args.command == "experiment":
@@ -285,6 +320,36 @@ def _health(target: str) -> int:
         return 1
     print(f"status: ok ({len(checks)} artefact(s) verified)")
     return 0
+
+
+def _check(args: argparse.Namespace) -> int:
+    """Run the static analyzer; 0 = clean, 1 = findings, 2 = usage error."""
+    from pathlib import Path
+
+    from repro.analysis import run_check, write_baseline
+
+    try:
+        result = run_check(
+            args.paths,
+            root=args.root,
+            rule_ids=args.rule,
+            baseline=args.baseline,
+        )
+    except ValueError as exc:
+        print(f"check: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(result.findings, Path(args.write_baseline))
+        print(
+            f"baseline written to {args.write_baseline} "
+            f"({len(result.findings)} finding(s))"
+        )
+        return 0
+    if args.format == "json":
+        print(result.render_json())
+    else:
+        print(result.render_text())
+    return 0 if result.ok else 1
 
 
 def _metrics(args: argparse.Namespace) -> int:

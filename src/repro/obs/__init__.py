@@ -71,6 +71,7 @@ def run_instrumented_demo(*args, **kwargs):
     Deferred because the demo pulls in the model/service stack, which
     (through :mod:`repro.app.service`) imports this package.
     """
+    # repro: allow[layering] — lazy re-export of the top-of-stack demo
     from repro.obs.demo import run_instrumented_demo as _run
 
     return _run(*args, **kwargs)

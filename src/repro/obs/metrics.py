@@ -131,7 +131,10 @@ class Counter(_Instrument):
         return Counter(self.name, self.help)
 
     def _reset(self) -> None:
-        self._value = 0.0
+        # Under the instrument lock: a reset racing a concurrent inc()
+        # must not resurrect a half-applied increment.
+        with self._lock:
+            self._value = 0.0
         for child in self._children.values():
             child._reset()
 
@@ -176,7 +179,8 @@ class Gauge(_Instrument):
         return Gauge(self.name, self.help)
 
     def _reset(self) -> None:
-        self._value = 0.0
+        with self._lock:
+            self._value = 0.0
         for child in self._children.values():
             child._reset()
 
@@ -331,10 +335,11 @@ class Histogram(_Instrument):
         )
 
     def _reset(self) -> None:
-        self._counts = [0] * (len(self.buckets) + 1)
-        self._sum = 0.0
-        self._count = 0
-        self._window.clear()
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+            self._window.clear()
         for child in self._children.values():
             child._reset()
 

@@ -70,6 +70,7 @@ __all__ = [
 
 def __getattr__(name: str):
     if name in _LAZY_FAULT_EXPORTS:
+        # repro: allow[layering] — lazy re-export; faults wraps core models
         from repro.resilience import faults
 
         return getattr(faults, name)

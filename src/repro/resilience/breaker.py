@@ -99,7 +99,7 @@ class CircuitBreaker:
     def state(self) -> str:
         """Current state, observing a due open -> half-open transition."""
         with self._lock:
-            self._maybe_half_open()
+            self._maybe_half_open_locked()
             return self._state
 
     @property
@@ -130,26 +130,26 @@ class CircuitBreaker:
     def allow(self) -> bool:
         """Whether the guarded call may proceed right now."""
         with self._lock:
-            self._maybe_half_open()
+            self._maybe_half_open_locked()
             return self._state != STATE_OPEN
 
     def record_success(self) -> None:
         """Record one successful guarded call (may close the breaker)."""
         with self._lock:
-            self._maybe_half_open()
+            self._maybe_half_open_locked()
             if self._state == STATE_HALF_OPEN:
                 self._half_open_successes += 1
                 if self._half_open_successes >= self.successes_to_close:
-                    self._close()
+                    self._close_locked()
                 return
             self._outcomes.append(True)
 
     def record_failure(self) -> None:
         """Record one failed guarded call (may open the breaker)."""
         with self._lock:
-            self._maybe_half_open()
+            self._maybe_half_open_locked()
             if self._state == STATE_HALF_OPEN:
-                self._open()
+                self._open_locked()
                 return
             self._outcomes.append(False)
             if (
@@ -157,41 +157,42 @@ class CircuitBreaker:
                 and len(self._outcomes) >= self.min_calls
                 and self.failure_rate >= self.failure_threshold
             ):
-                self._open()
+                self._open_locked()
 
     def reset(self) -> None:
         """Force-close the breaker and clear its window (e.g. on redeploy)."""
         with self._lock:
-            self._close()
+            self._close_locked()
 
     # ------------------------------------------------------------------
-    # transitions
+    # transitions — the ``_locked`` suffix asserts the caller holds
+    # ``self._lock`` (the static lock-discipline rule relies on it)
     # ------------------------------------------------------------------
 
-    def _open(self) -> None:
+    def _open_locked(self) -> None:
         previous = self._state
         self._state = STATE_OPEN
         self._opened_at = self._clock()
         self._half_open_successes = 0
         self.opened_count += 1
-        self._notify(previous, STATE_OPEN)
+        self._notify_locked(previous, STATE_OPEN)
 
-    def _close(self) -> None:
+    def _close_locked(self) -> None:
         previous = self._state
         self._state = STATE_CLOSED
         self._outcomes.clear()
         self._half_open_successes = 0
-        self._notify(previous, STATE_CLOSED)
+        self._notify_locked(previous, STATE_CLOSED)
 
-    def _maybe_half_open(self) -> None:
+    def _maybe_half_open_locked(self) -> None:
         if (
             self._state == STATE_OPEN
             and self._clock() - self._opened_at >= self.cooldown_seconds
         ):
             self._state = STATE_HALF_OPEN
             self._half_open_successes = 0
-            self._notify(STATE_OPEN, STATE_HALF_OPEN)
+            self._notify_locked(STATE_OPEN, STATE_HALF_OPEN)
 
-    def _notify(self, old: str, new: str) -> None:
+    def _notify_locked(self, old: str, new: str) -> None:
         if self.on_transition is not None and old != new:
             self.on_transition(old, new)

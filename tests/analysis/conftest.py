@@ -1,0 +1,36 @@
+"""Shared fixture machinery for the static-analysis tests.
+
+Every rule test builds a small fixture tree under ``tmp_path`` — with
+``__init__.py`` chains, so modules model exactly like the real package —
+and runs :func:`repro.analysis.run_check` over it with just the rule
+under test.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_check
+
+
+def build_tree(root: Path, files: dict[str, str]) -> Path:
+    """Materialise ``relpath -> source`` under ``root`` (dedented)."""
+    for relpath, text in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return root
+
+
+@pytest.fixture
+def check_tree(tmp_path):
+    """``check_tree(files, **kwargs) -> CheckResult`` over a fixture tree."""
+
+    def run(files: dict[str, str], **kwargs):
+        build_tree(tmp_path, files)
+        return run_check([tmp_path], root=tmp_path, **kwargs)
+
+    return run

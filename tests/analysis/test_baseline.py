@@ -1,0 +1,75 @@
+"""The baseline workflow: grandfather a backlog, fail on new findings."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import load_baseline, run_check, write_baseline
+from repro.cli import main
+
+from .conftest import build_tree
+
+BAD = "import random\n"
+
+
+class TestProgrammatic:
+    def test_baseline_grandfathers_existing_findings(self, tmp_path):
+        tree = build_tree(tmp_path / "tree", {"mod.py": BAD})
+        baseline = tmp_path / "baseline.json"
+        first = run_check([tree], root=tree)
+        assert not first.ok
+        write_baseline(first.findings, baseline)
+
+        second = run_check([tree], root=tree, baseline=baseline)
+        assert second.ok
+        assert second.baselined == len(first.findings)
+
+    def test_new_findings_still_fail(self, tmp_path):
+        tree = build_tree(tmp_path / "tree", {"mod.py": BAD})
+        baseline = tmp_path / "baseline.json"
+        write_baseline(run_check([tree], root=tree).findings, baseline)
+
+        (tree / "fresh.py").write_text("from time import time\n")
+        result = run_check([tree], root=tree, baseline=baseline)
+        assert not result.ok
+        assert all(
+            finding.path == "fresh.py" for finding in result.findings
+        )
+
+    def test_fingerprints_survive_line_shifts(self, tmp_path):
+        tree = build_tree(tmp_path / "tree", {"mod.py": BAD})
+        baseline = tmp_path / "baseline.json"
+        write_baseline(run_check([tree], root=tree).findings, baseline)
+
+        (tree / "mod.py").write_text("VALUE = 1\n\nimport random\n")
+        result = run_check([tree], root=tree, baseline=baseline)
+        assert result.ok, result.render_text()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"not": "a baseline"}))
+        with pytest.raises(ValueError, match="not a repro-check baseline"):
+            load_baseline(path)
+
+
+class TestCli:
+    def test_write_then_check_round_trip(self, tmp_path, capsys):
+        tree = build_tree(tmp_path / "tree", {"mod.py": BAD})
+        baseline = tmp_path / "baseline.json"
+
+        code = main(
+            ["check", "--root", str(tree),
+             "--write-baseline", str(baseline), str(tree)]
+        )
+        assert code == 0
+        assert "baseline written" in capsys.readouterr().out
+        assert load_baseline(baseline)
+
+        code = main(
+            ["check", "--root", str(tree),
+             "--baseline", str(baseline), str(tree)]
+        )
+        assert code == 0
+        assert "baselined" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""The determinism rule: unseeded randomness and wall-clock reads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import DeterminismRule
+
+RULE = [DeterminismRule()]
+
+BAD = """\
+import random
+import numpy as np
+import time
+from datetime import datetime
+
+
+def stochastic():
+    np.random.seed(0)
+    state = np.random.RandomState(3)
+    generator = np.random.default_rng()
+    started = time.time()
+    stamp = datetime.now()
+    return random.random(), state, generator, started, stamp
+"""
+
+GOOD = """\
+import time
+
+import numpy as np
+
+
+def seeded(seed):
+    generator = np.random.default_rng(seed)
+    started = time.perf_counter()
+    return generator, started
+"""
+
+
+class TestFlags:
+    def test_bad_fixture_flags_every_sin(self, check_tree):
+        result = check_tree({"mod.py": BAD}, rules=RULE)
+        messages = [finding.message for finding in result.findings]
+        assert any("stdlib 'random'" in m for m in messages)
+        assert any("seeds process-global numpy state" in m for m in messages)
+        assert any("legacy global-state" in m for m in messages)
+        assert any("default_rng() without a seed" in m for m in messages)
+        assert any("time.time() reads the wall clock" in m for m in messages)
+        assert any("datetime.now() reads the wall clock" in m for m in messages)
+        assert all(finding.rule == "determinism" for finding in result.findings)
+
+    def test_from_time_import_time_flagged(self, check_tree):
+        result = check_tree(
+            {"mod.py": "from time import time\n"}, rules=RULE
+        )
+        assert len(result.findings) == 1
+        assert "'from time import time'" in result.findings[0].message
+
+    @pytest.mark.parametrize("name", ["seed", "RandomState"])
+    def test_from_numpy_random_import_flagged(self, check_tree, name):
+        result = check_tree(
+            {"mod.py": f"from numpy.random import {name}\n"}, rules=RULE
+        )
+        assert len(result.findings) == 1
+        assert name in result.findings[0].message
+
+
+class TestDoesNotFlag:
+    def test_good_fixture_is_clean(self, check_tree):
+        result = check_tree({"mod.py": GOOD}, rules=RULE)
+        assert result.ok, result.render_text()
+
+    def test_perf_timers_allowlisted(self, check_tree):
+        source = (
+            "import time\n"
+            "a = time.perf_counter()\n"
+            "b = time.monotonic()\n"
+            "c = time.process_time()\n"
+            "time.sleep(0)\n"
+        )
+        result = check_tree({"mod.py": source}, rules=RULE)
+        assert result.ok, result.render_text()
+
+    def test_exempt_module_may_call_unseeded_default_rng(self, check_tree):
+        rule = DeterminismRule(exempt_modules={"rng"})
+        source = "import numpy as np\ng = np.random.default_rng()\n"
+        result = check_tree({"rng.py": source}, rules=[rule])
+        assert result.ok, result.render_text()
+
+
+class TestSuppression:
+    def test_inline_pragma_silences(self, check_tree):
+        source = (
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro: allow[determinism] — fixture\n"
+        )
+        result = check_tree({"mod.py": source}, rules=RULE)
+        assert result.ok
+        assert result.suppressed == 1

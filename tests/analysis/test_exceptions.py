@@ -1,0 +1,94 @@
+"""The exception-hygiene rule: no silently swallowed failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExceptionHygieneRule
+
+RULE = [ExceptionHygieneRule()]
+
+
+class TestFlags:
+    def test_bare_except_is_always_flagged(self, check_tree):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except:\n"
+            "    pass\n"
+        )
+        result = check_tree({"mod.py": source}, rules=RULE)
+        assert len(result.findings) == 1
+        assert "bare 'except:'" in result.findings[0].message
+
+    @pytest.mark.parametrize("name", ["Exception", "BaseException"])
+    def test_silent_broad_catch_is_flagged(self, check_tree, name):
+        source = (
+            "try:\n"
+            "    work()\n"
+            f"except {name}:\n"
+            "    result = None\n"
+        )
+        result = check_tree({"mod.py": source}, rules=RULE)
+        assert len(result.findings) == 1
+        assert f"'except {name}' swallows the failure" in (
+            result.findings[0].message
+        )
+
+    def test_bare_except_with_logging_still_flagged(self, check_tree):
+        # A bare except is wrong even when it logs: it catches
+        # SystemExit/KeyboardInterrupt.
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except:\n"
+            "    log.warning('boom')\n"
+        )
+        result = check_tree({"mod.py": source}, rules=RULE)
+        assert len(result.findings) == 1
+
+
+class TestDoesNotFlag:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "raise",
+            "raise RuntimeError('wrapped') from exc",
+            "log.warning('degraded: %s', exc)",
+            "logger.exception('boom')",
+            "metrics.counter('errors').inc()",
+            "histogram.observe(0.1)",
+        ],
+    )
+    def test_mitigated_broad_catch_is_clean(self, check_tree, body):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception as exc:\n"
+            f"    {body}\n"
+        )
+        result = check_tree({"mod.py": source}, rules=RULE)
+        assert result.ok, result.render_text()
+
+    def test_narrow_catch_is_clean(self, check_tree):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except (KeyError, ValueError):\n"
+            "    result = None\n"
+        )
+        result = check_tree({"mod.py": source}, rules=RULE)
+        assert result.ok
+
+
+class TestSuppression:
+    def test_inline_pragma_silences(self, check_tree):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:  # repro: allow[exceptions] — degrade\n"
+            "    result = None\n"
+        )
+        result = check_tree({"mod.py": source}, rules=RULE)
+        assert result.ok
+        assert result.suppressed == 1

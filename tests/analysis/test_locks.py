@@ -1,0 +1,141 @@
+"""The lock-discipline rule: mixed locked/unlocked attribute mutation."""
+
+from __future__ import annotations
+
+from repro.analysis import LockDisciplineRule
+
+RULE = [LockDisciplineRule()]
+
+MIXED = """\
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def hit(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        self.count = 0
+"""
+
+CONSISTENT = """\
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def hit(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        with self._lock:
+            self.count = 0
+"""
+
+LOCKED_SUFFIX = """\
+import threading
+
+
+class Machine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = "closed"
+
+    def trip(self):
+        with self._lock:
+            self.state = "open"
+            self._reopen_locked()
+
+    def _reopen_locked(self):
+        self.state = "half-open"
+"""
+
+INHERITED = """\
+import threading
+
+
+class Base:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+
+class Child(Base):
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def clear(self):
+        self.value = 0
+"""
+
+
+class TestFlags:
+    def test_mixed_mutation_is_flagged(self, check_tree):
+        result = check_tree({"mod.py": MIXED}, rules=RULE)
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "locks"
+        assert "'Stats.count' is mutated in 'reset'" in finding.message
+        assert "outside 'with self._lock'" in finding.message
+
+    def test_inherited_lock_ownership_is_enforced(self, check_tree):
+        result = check_tree({"mod.py": INHERITED}, rules=RULE)
+        assert len(result.findings) == 1
+        assert "'Child.value' is mutated in 'clear'" in result.findings[0].message
+
+
+class TestDoesNotFlag:
+    def test_consistent_locking_is_clean(self, check_tree):
+        result = check_tree({"mod.py": CONSISTENT}, rules=RULE)
+        assert result.ok, result.render_text()
+
+    def test_locked_suffix_counts_as_locked_context(self, check_tree):
+        result = check_tree({"mod.py": LOCKED_SUFFIX}, rules=RULE)
+        assert result.ok, result.render_text()
+
+    def test_constructor_mutation_is_exempt(self, check_tree):
+        # __init__ assigns guarded attributes lock-free: legal, the
+        # instance is not shared yet.
+        result = check_tree({"mod.py": CONSISTENT}, rules=RULE)
+        assert result.ok
+
+    def test_lockless_class_is_ignored(self, check_tree):
+        source = (
+            "class Plain:\n"
+            "    def set(self, v):\n"
+            "        self.value = v\n"
+        )
+        result = check_tree({"mod.py": source}, rules=RULE)
+        assert result.ok
+
+
+class TestSuppression:
+    def test_inline_pragma_silences(self, check_tree):
+        patched = MIXED.replace(
+            "        self.count = 0\n"
+            "\n"
+            "    def hit",
+            "        self.count = 0\n"
+            "\n"
+            "    def hit",
+        ).replace(
+            "    def reset(self):\n        self.count = 0",
+            "    def reset(self):\n"
+            "        self.count = 0  # repro: allow[locks] — single-threaded",
+        )
+        result = check_tree({"mod.py": patched}, rules=RULE)
+        assert result.ok
+        assert result.suppressed == 1

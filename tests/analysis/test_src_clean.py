@@ -1,0 +1,27 @@
+"""Tier-1 gate: the analyzer runs clean over the repository's own src/.
+
+Every invariant the rules enforce — seeded randomness, the layer DAG,
+lock discipline, exception hygiene, docs integrity — holds for the
+codebase itself. A finding here means either the code regressed or a
+new rule surfaced a real issue; fix it or justify it with an inline
+``# repro: allow[rule-id]`` pragma, never by relaxing this test.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import run_check
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_has_no_findings():
+    result = run_check([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert result.ok, "\n" + result.render_text()
+
+
+def test_src_run_covers_the_whole_package():
+    result = run_check([REPO_ROOT / "src"], root=REPO_ROOT)
+    # A collapse of the file walk would pass the clean gate vacuously.
+    assert result.files_checked > 50

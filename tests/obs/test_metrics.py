@@ -222,3 +222,82 @@ class TestLatencyPercentilePinning:
         assert histogram.percentile(0.99) == pytest.approx(0.09901)
         assert histogram.percentile(0.0) == 0.001
         assert histogram.percentile(1.0) == 0.1
+
+
+class TestConcurrentReset:
+    """Regression: ``registry.reset()`` racing recorders stays consistent.
+
+    The static lock-discipline rule caught ``_reset`` zeroing instrument
+    state outside the instrument lock; these tests pin the fixed
+    behaviour — a reset must never resurrect a half-applied increment or
+    tear a histogram's buckets away from its count.
+    """
+
+    def test_counter_reset_under_contention(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        stop = threading.Event()
+
+        def resetter() -> None:
+            while not stop.is_set():
+                registry.reset()
+
+        def worker() -> None:
+            for _ in range(2000):
+                counter.inc()
+
+        reset_thread = threading.Thread(target=resetter)
+        workers = [threading.Thread(target=worker) for _ in range(4)]
+        reset_thread.start()
+        try:
+            for thread in workers:
+                thread.start()
+            for thread in workers:
+                thread.join()
+        finally:
+            stop.set()
+            reset_thread.join()
+
+        # Every surviving increment is whole: a torn read-modify-write
+        # would leave a fractional or negative count behind.
+        assert counter.value == int(counter.value)
+        assert 0 <= counter.value <= 8000
+        registry.reset()
+        assert counter.value == 0.0
+
+    def test_histogram_reset_keeps_counts_consistent(self):
+        import threading
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0), window=64)
+        stop = threading.Event()
+
+        def resetter() -> None:
+            while not stop.is_set():
+                registry.reset()
+
+        def worker() -> None:
+            for index in range(1500):
+                histogram.observe((index % 3) * 0.4)
+
+        reset_thread = threading.Thread(target=resetter)
+        workers = [threading.Thread(target=worker) for _ in range(4)]
+        reset_thread.start()
+        try:
+            for thread in workers:
+                thread.start()
+            for thread in workers:
+                thread.join()
+        finally:
+            stop.set()
+            reset_thread.join()
+
+        # Quiesced: buckets, sum, and count moved together or not at all.
+        assert sum(histogram.bucket_counts) == histogram.count
+        assert len(histogram.window) <= 64
+        registry.reset()
+        assert histogram.count == 0
+        assert histogram.window == ()
+        assert sum(histogram.bucket_counts) == 0

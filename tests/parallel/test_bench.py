@@ -47,7 +47,8 @@ class TestRunParallelBench:
 
     def test_json_written_and_parses(self, report):
         path = report["output_path"]
-        on_disk = json.loads(open(path, encoding="utf-8").read())
+        with open(path, encoding="utf-8") as handle:
+            on_disk = json.loads(handle.read())
         # JSON round-trips the config's tuples into lists; compare via dump.
         assert on_disk["config"] == json.loads(json.dumps(report["config"]))
         assert on_disk["grid"]["identical"] is True

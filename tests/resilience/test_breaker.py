@@ -145,3 +145,37 @@ class TestMisc:
     def test_validation(self, kwargs):
         with pytest.raises(ConfigurationError):
             CircuitBreaker(**kwargs)
+
+
+class TestContention:
+    """Regression: transitions stay atomic under concurrent recording.
+
+    The transition helpers carry a ``_locked`` suffix (caller holds
+    ``self._lock``); with a pinned clock, hammering ``record_failure``
+    from many threads must open the breaker exactly once — a torn
+    transition would double-count ``opened_count`` or fire the
+    callback twice.
+    """
+
+    def test_all_failures_open_exactly_once(self):
+        import threading
+
+        transitions: list[tuple[str, str]] = []
+        breaker, _ = make_breaker(
+            cooldown_seconds=1000.0,
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+
+        def worker() -> None:
+            for _ in range(200):
+                breaker.record_failure()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert breaker.state == STATE_OPEN
+        assert breaker.opened_count == 1
+        assert transitions == [(STATE_CLOSED, STATE_OPEN)]
