@@ -60,7 +60,11 @@ class ProjectModel:
 
         Only imports that resolve to another module *in the model* (or to
         a parent package of one) appear; stdlib and third-party imports
-        are not layering facts and are dropped.
+        are not layering facts and are dropped. Imports guarded by
+        ``if TYPE_CHECKING:`` are dropped too — they never execute, so
+        they create neither runtime layering edges nor runtime cycles
+        (annotation-only back-references are the sanctioned way to type
+        a lower-layer module against a higher one).
         """
         if self._import_graph is None:
             self._import_graph = {
@@ -70,12 +74,38 @@ class ProjectModel:
         return self._import_graph
 
 
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """Whether an ``if`` guard is the ``TYPE_CHECKING`` idiom."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _runtime_nodes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Walk ``tree`` skipping bodies that never execute at runtime.
+
+    An ``if TYPE_CHECKING:`` body is evaluated only by type checkers,
+    so imports inside it are annotation-only facts, not runtime edges;
+    its ``else`` branch, if any, does run and is still walked.
+    """
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            stack.extend(node.orelse)
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
 def _module_imports(
     source: SourceFile, model: ProjectModel
 ) -> Iterator[tuple[str, int]]:
     known = model.modules
     prefixes = {module.split(".", 1)[0] for module in known}
-    for node in ast.walk(source.tree):
+    for node in _runtime_nodes(source.tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
                 target = _resolve(alias.name, known, prefixes)

@@ -16,6 +16,14 @@ paper's best learning rate (0.2) numerically stable.
 A plain-BPR alternative (uniform negative sampling with the sigmoid
 gradient of Equation 3) is available via ``sampler="uniform"`` and is used
 by the sampler ablation bench.
+
+Training runs on one of the tiered kernels in
+:mod:`repro.core.bpr_kernel` (``config.kernel``): the bit-exact float64
+``"reference"`` loop, or the ``"fast"`` float32 kernel with pre-drawn
+negative sampling and segment-sum updates; ``config.workers > 1``
+additionally shards each epoch HogWild-style across worker processes
+over shared-memory factors. The contract each tier honours is tabulated
+in ``docs/determinism.md``.
 """
 
 from __future__ import annotations
@@ -27,11 +35,20 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.base import Recommender
+from repro.core.bpr_kernel import (
+    BATCH_KERNELS,
+    KERNELS,
+    fork_sharing_available,
+    hogwild_epoch,
+    hogwild_pool,
+    shared_empty,
+)
 from repro.core.interactions import InteractionMatrix
 from repro.datasets.merged import MergedDataset
 from repro.errors import ConfigurationError, NotFittedError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, start_span
+from repro.parallel.pool import resolve_n_jobs
 from repro.rng import derive_rng
 
 #: Fixed buckets for the per-epoch / per-batch training-time histograms.
@@ -66,6 +83,16 @@ class BPRConfig:
     margin: float = 1.0
     """WARP hinge margin: a negative within this of the positive violates."""
     seed: int | None = None
+    kernel: str = "reference"
+    """Training kernel tier: ``"reference"`` (float64, bit-exact with the
+    historical trainer) or ``"fast"`` (float32, pre-drawn sampling,
+    segment-sum updates; deterministic per seed but not bit-comparable —
+    see ``docs/determinism.md``)."""
+    workers: int = 1
+    """Worker processes for HogWild training (``-1`` = all CPUs). Values
+    above 1 require ``kernel="fast"`` and relax the determinism contract
+    to converges-to-the-same-KPIs; on platforms without the ``fork``
+    start method training transparently stays in-process."""
 
     def __post_init__(self) -> None:
         if self.n_factors < 1:
@@ -86,6 +113,20 @@ class BPRConfig:
             )
         if self.max_trials < 1:
             raise ConfigurationError(f"max_trials must be >= 1, got {self.max_trials}")
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
+            )
+        if self.workers != -1 and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1 or -1 (all CPUs), got {self.workers}"
+            )
+        if self.workers != 1 and self.kernel != "fast":
+            raise ConfigurationError(
+                "multi-worker (HogWild) training requires kernel='fast'; "
+                "the reference kernel is single-worker by its bit-exactness "
+                "contract"
+            )
 
 
 @dataclass
@@ -96,6 +137,10 @@ class EpochStats:
     mean_violation_trials: float
     updated_fraction: float
     seconds: float
+    samples_per_second: float = 0.0
+    """Positive pairs processed divided by the epoch's wall-clock seconds
+    — the one shared definition of training throughput used by the
+    ``bpr.samples_per_second`` gauge and ``python -m repro bench-train``."""
 
 
 class BPR(Recommender):
@@ -161,13 +206,67 @@ class BPR(Recommender):
         if n_items < 2:
             raise ConfigurationError("BPR needs at least two items")
         scale = 1.0 / np.sqrt(cfg.n_factors)
+        # Both tiers burn the identical normal draws, so switching kernels
+        # never perturbs the downstream RNG stream; the fast tier merely
+        # rounds the same initialisation to float32.
         V = rng.normal(0.0, scale, size=(n_users, cfg.n_factors))
         P = rng.normal(0.0, scale, size=(n_items, cfg.n_factors))
+        if cfg.kernel == "fast":
+            V = V.astype(np.float32)
+            P = P.astype(np.float32)
 
         pos_users, pos_items = train.positive_pairs()
         seen_keys = train.interaction_keys()
         self.history = []
 
+        n_workers = resolve_n_jobs(cfg.workers)
+        hogwild = (
+            cfg.kernel == "fast"
+            and n_workers > 1
+            and fork_sharing_available()
+        )
+        pool = None
+        if hogwild:
+            shared_V = shared_empty(V.shape, np.float32)
+            shared_V[:] = V
+            shared_P = shared_empty(P.shape, np.float32)
+            shared_P[:] = P
+            V, P = shared_V, shared_P
+            pool = hogwild_pool(
+                V, P, pos_users, pos_items, seen_keys, n_items, cfg, n_workers
+            )
+        try:
+            self._run_epochs(
+                V, P, pos_users, pos_items, seen_keys, n_items, rng, pool,
+                n_workers,
+            )
+        finally:
+            if pool is not None:
+                pool.close()
+        # Copy shared-buffer factors into plain arrays so the fitted model
+        # holds no reference to the (now worker-free) shared mappings.
+        self._user_factors = np.array(V) if hogwild else V
+        self._item_factors = np.array(P) if hogwild else P
+
+    def _run_epochs(
+        self,
+        V: np.ndarray,
+        P: np.ndarray,
+        pos_users: np.ndarray,
+        pos_items: np.ndarray,
+        seen_keys: np.ndarray,
+        n_items: int,
+        rng: np.random.Generator,
+        pool,
+        n_workers: int,
+    ) -> None:
+        """The epoch loop, common to every kernel tier.
+
+        ``pool`` is the HogWild worker pool, or ``None`` for in-process
+        training with the configured batch kernel.
+        """
+        cfg = self.config
+        batch_kernel = BATCH_KERNELS[cfg.kernel]
         metrics = self.metrics
         batch_histogram = (
             metrics.histogram("bpr.batch_seconds", buckets=_TRAIN_TIME_BUCKETS)
@@ -176,43 +275,54 @@ class BPR(Recommender):
         )
         with start_span(
             self.tracer, "bpr.fit",
-            n_users=n_users, n_items=n_items, n_pairs=len(pos_users),
-            epochs=cfg.epochs, sampler=cfg.sampler,
+            n_users=V.shape[0], n_items=n_items, n_pairs=len(pos_users),
+            epochs=cfg.epochs, sampler=cfg.sampler, kernel=cfg.kernel,
+            workers=(n_workers if pool is not None else 1),
         ):
             for epoch in range(cfg.epochs):
                 started = time.perf_counter()
                 with start_span(self.tracer, "bpr.epoch", epoch=epoch) as span:
                     order = rng.permutation(len(pos_users))
-                    trial_total, updated_total = 0.0, 0
-                    for start in range(0, len(order), cfg.batch_size):
-                        batch = order[start:start + cfg.batch_size]
-                        batch_started = (
-                            time.perf_counter()
-                            if batch_histogram is not None
-                            else 0.0
+                    if pool is not None:
+                        trial_total, updated_total = hogwild_epoch(
+                            pool, order, epoch, cfg.seed, n_workers
                         )
-                        stats = self._train_batch(
-                            V, P, pos_users[batch], pos_items[batch],
-                            seen_keys, n_items, rng,
-                        )
-                        if batch_histogram is not None:
-                            batch_histogram.observe(
-                                time.perf_counter() - batch_started
+                    else:
+                        trial_total, updated_total = 0.0, 0
+                        for start in range(0, len(order), cfg.batch_size):
+                            batch = order[start:start + cfg.batch_size]
+                            batch_started = (
+                                time.perf_counter()
+                                if batch_histogram is not None
+                                else 0.0
                             )
-                        trial_total += stats[0]
-                        updated_total += stats[1]
+                            stats = batch_kernel(
+                                V, P, pos_users[batch], pos_items[batch],
+                                seen_keys, n_items, rng, cfg,
+                            )
+                            if batch_histogram is not None:
+                                batch_histogram.observe(
+                                    time.perf_counter() - batch_started
+                                )
+                            trial_total += stats[0]
+                            updated_total += stats[1]
                     n_pairs = len(order)
+                    seconds = time.perf_counter() - started
                     epoch_stats = EpochStats(
                         epoch=epoch,
                         mean_violation_trials=(
                             trial_total / max(updated_total, 1)
                         ),
                         updated_fraction=updated_total / max(n_pairs, 1),
-                        seconds=time.perf_counter() - started,
+                        seconds=seconds,
+                        samples_per_second=(
+                            n_pairs / seconds if seconds > 0 else 0.0
+                        ),
                     )
                     span.set_attrs(
                         mean_violation_trials=epoch_stats.mean_violation_trials,
                         updated_fraction=epoch_stats.updated_fraction,
+                        samples_per_second=epoch_stats.samples_per_second,
                     )
                 self.history.append(epoch_stats)
                 if metrics is not None:
@@ -223,113 +333,14 @@ class BPR(Recommender):
                     metrics.gauge("bpr.mean_violation_trials").set(
                         epoch_stats.mean_violation_trials
                     )
+                    metrics.gauge("bpr.samples_per_second").set(
+                        epoch_stats.samples_per_second
+                    )
                     metrics.histogram(
                         "bpr.epoch_seconds", buckets=_TRAIN_TIME_BUCKETS
                     ).observe(epoch_stats.seconds)
                 for callback in self.callbacks:
                     callback(epoch_stats)
-        self._user_factors = V
-        self._item_factors = P
-
-    def _train_batch(
-        self,
-        V: np.ndarray,
-        P: np.ndarray,
-        users: np.ndarray,
-        items: np.ndarray,
-        seen_keys: np.ndarray,
-        n_items: int,
-        rng: np.random.Generator,
-    ) -> tuple[float, int]:
-        """One SGD step; returns (sum of trials, number of updated pairs)."""
-        cfg = self.config
-        batch = len(users)
-        Vu = V[users]
-        pos_scores = np.einsum("ij,ij->i", Vu, P[items])
-
-        if cfg.sampler == "uniform":
-            negatives = self._sample_unseen(users, seen_keys, n_items, rng)
-            neg_scores = np.einsum("ij,ij->i", Vu, P[negatives])
-            x = pos_scores - neg_scores
-            weight = 1.0 / (1.0 + np.exp(x))  # sigma(-x), Eq. 3 gradient
-            self._apply_updates(V, P, users, items, negatives, weight)
-            return float(batch), batch
-
-        # WARP: keep drawing negatives until one violates the margin.
-        negatives = np.zeros(batch, dtype=np.int64)
-        trials = np.zeros(batch, dtype=np.int64)
-        unresolved = np.ones(batch, dtype=bool)
-        for trial in range(1, cfg.max_trials + 1):
-            active = np.flatnonzero(unresolved)
-            if active.size == 0:
-                break
-            candidates = self._sample_unseen(
-                users[active], seen_keys, n_items, rng
-            )
-            cand_scores = np.einsum("ij,ij->i", Vu[active], P[candidates])
-            violating = cand_scores > pos_scores[active] - cfg.margin
-            hit = active[violating]
-            negatives[hit] = candidates[violating]
-            trials[hit] = trial
-            unresolved[hit] = False
-        resolved = trials > 0
-        if not resolved.any():
-            return 0.0, 0
-        # Float division: floor division quantises the estimate for small
-        # catalogues and collapses to 0 (rescued only by the maximum) as
-        # soon as trials exceeds n_items - 1.
-        rank_estimate = np.maximum((n_items - 1) / trials[resolved], 1.0)
-        weight = np.log1p(rank_estimate) / np.log1p(n_items - 1)
-        self._apply_updates(
-            V, P,
-            users[resolved], items[resolved], negatives[resolved], weight,
-        )
-        return float(trials[resolved].sum()), int(resolved.sum())
-
-    def _sample_unseen(
-        self,
-        users: np.ndarray,
-        seen_keys: np.ndarray,
-        n_items: int,
-        rng: np.random.Generator,
-    ) -> np.ndarray:
-        """Draw one candidate negative per user, rejecting read books.
-
-        A handful of rejection rounds suffice because each user has read a
-        small fraction of the catalogue; any survivor collisions keep their
-        last draw (a rare, unbiased no-op update).
-        """
-        candidates = rng.integers(0, n_items, size=len(users), dtype=np.int64)
-        for _ in range(4):
-            keys = users * np.int64(n_items) + candidates
-            positions = np.searchsorted(seen_keys, keys)
-            positions = np.minimum(positions, len(seen_keys) - 1)
-            seen = seen_keys[positions] == keys
-            if not seen.any():
-                break
-            candidates[seen] = rng.integers(
-                0, n_items, size=int(seen.sum()), dtype=np.int64
-            )
-        return candidates
-
-    def _apply_updates(
-        self,
-        V: np.ndarray,
-        P: np.ndarray,
-        users: np.ndarray,
-        items: np.ndarray,
-        negatives: np.ndarray,
-        weight: np.ndarray,
-    ) -> None:
-        cfg = self.config
-        lr = cfg.learning_rate
-        reg = cfg.regularization
-        Vu = V[users]
-        diff = P[items] - P[negatives]
-        w = weight[:, None]
-        np.add.at(V, users, lr * (w * diff - reg * Vu))
-        np.add.at(P, items, lr * (w * Vu - reg * P[items]))
-        np.add.at(P, negatives, lr * (-w * Vu - reg * P[negatives]))
 
     # ------------------------------------------------------------------
     # scoring

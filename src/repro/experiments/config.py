@@ -83,9 +83,20 @@ SCALES = {
 
 
 def config_for_scale(
-    scale: str, seed: int | None = None, n_jobs: int | None = None
+    scale: str,
+    seed: int | None = None,
+    n_jobs: int | None = None,
+    train_kernel: str | None = None,
+    train_workers: int | None = None,
 ) -> ExperimentConfig:
-    """Build the preset for ``scale``, optionally reseeded/parallelised."""
+    """Build the preset for ``scale``, optionally reseeded/parallelised.
+
+    ``train_kernel``/``train_workers`` override the BPR training tier
+    (see :class:`~repro.core.bpr.BPRConfig`): the float64 ``reference``
+    kernel is the default everywhere so recorded EXPERIMENTS.md numbers
+    stay bit-stable; pass ``train_kernel="fast"`` (optionally with
+    ``train_workers > 1`` for HogWild) to trade bit-identity for speed.
+    """
     if scale not in SCALES:
         raise ConfigurationError(
             f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
@@ -95,4 +106,11 @@ def config_for_scale(
         config = config.with_seed(seed)
     if n_jobs is not None:
         config = replace(config, n_jobs=n_jobs)
+    bpr_overrides = {}
+    if train_kernel is not None:
+        bpr_overrides["kernel"] = train_kernel
+    if train_workers is not None:
+        bpr_overrides["workers"] = train_workers
+    if bpr_overrides:
+        config = replace(config, bpr=replace(config.bpr, **bpr_overrides))
     return config

@@ -9,7 +9,9 @@ per-batch training timings). The goldens therefore compare a
 - histogram series whose name ends in ``_seconds`` keep their
   observation ``count`` (deterministic) but zero their ``sum`` and
   per-bucket ``counts`` (timing-dependent);
-- gauge values for names ending in ``_seconds`` are zeroed;
+- gauge values for names ending in ``_seconds`` or ``_per_second``
+  (throughputs divide a deterministic count by a measured duration, so
+  they are exactly as timing-dependent as the duration) are zeroed;
 - everything else — counters, KPI gauges, span ids, span timing fields
   driven by :class:`~repro.obs.trace.TickingClock` — is compared exactly
   (floats to a relative tolerance, guarding against harmless
@@ -20,7 +22,14 @@ from __future__ import annotations
 
 import math
 
-_TIMING_SUFFIX = "_seconds"
+#: Series with these name suffixes carry real wall-clock measurements
+#: (durations, or rates derived from durations) and are zeroed by the
+#: normalisers.
+_TIMING_SUFFIXES = ("_seconds", "_per_second")
+
+
+def _is_timing_name(name: str) -> bool:
+    return name.endswith(_TIMING_SUFFIXES)
 
 
 def normalize_snapshot(snapshot: dict) -> dict:
@@ -35,7 +44,7 @@ def normalize_snapshot(snapshot: dict) -> dict:
     }
     for name, entry in snapshot.get("gauges", {}).items():
         entry = dict(entry)
-        if name.endswith(_TIMING_SUFFIX):
+        if _is_timing_name(name):
             entry["value"] = 0.0
             if "labels" in entry:
                 entry["labels"] = {key: 0.0 for key in entry["labels"]}
@@ -47,7 +56,7 @@ def normalize_snapshot(snapshot: dict) -> dict:
 
 def _normalize_histogram(name: str, entry: dict) -> dict:
     entry = dict(entry)
-    if name.endswith(_TIMING_SUFFIX):
+    if _is_timing_name(name):
         entry["sum"] = 0.0
         entry["counts"] = [0] * len(entry.get("counts", []))
         if "labels" in entry:
@@ -59,7 +68,7 @@ def _normalize_histogram(name: str, entry: dict) -> dict:
 
 
 def normalize_trace(spans: list[dict]) -> list[dict]:
-    """Span dicts with any ``*_seconds`` attributes zeroed.
+    """Span dicts with any ``*_seconds``/``*_per_second`` attributes zeroed.
 
     Span ``start``/``end``/``cpu_seconds`` come from the injected
     deterministic clocks and are kept exactly; only attributes that carry
@@ -70,7 +79,7 @@ def normalize_trace(spans: list[dict]) -> list[dict]:
         span = dict(span)
         attrs = dict(span.get("attrs", {}))
         for key in attrs:
-            if key.endswith(_TIMING_SUFFIX):
+            if _is_timing_name(key):
                 attrs[key] = 0.0
         span["attrs"] = attrs
         normalized.append(span)

@@ -5,11 +5,15 @@ context manager and throughput helpers used by the benches;
 :mod:`repro.perf.fastpath` measures every fast path introduced by the
 vectorised-scoring work (masking, rank-only evaluation, blockwise /
 truncated similarity, cached serving) against its reference
-implementation and writes the ``BENCH_fastpath.json`` trajectory file.
+implementation and writes the ``BENCH_fastpath.json`` trajectory file;
+:mod:`repro.perf.trainbench` measures the BPR training tiers
+(reference / fast / hogwild) against each other and writes the
+``BENCH_train.json`` trajectory file.
 """
 
 from repro.perf.timer import Timer, TimingResult, best_of, throughput
 from repro.perf.fastpath import FastpathBenchConfig, run_fastpath_bench
+from repro.perf.trainbench import TrainBenchConfig, run_train_bench
 
 __all__ = [
     "Timer",
@@ -18,4 +22,6 @@ __all__ = [
     "throughput",
     "FastpathBenchConfig",
     "run_fastpath_bench",
+    "TrainBenchConfig",
+    "run_train_bench",
 ]

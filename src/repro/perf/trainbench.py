@@ -1,0 +1,196 @@
+"""Measure the BPR training tiers against the float64 reference.
+
+Three tiers are benchmarked on one synthetic catalogue (see
+``docs/determinism.md`` for the contract each tier honours):
+
+- **reference** — the float64 per-trial WARP loop with ``np.add.at``
+  scatter updates; bit-identical to the pre-fast-path trainer.
+- **fast** — the float32 kernel: pre-drawn candidate matrices, one
+  einsum per batch, ``np.bincount`` segment-sum updates.
+- **hogwild** — the fast kernel sharded across worker processes with
+  lock-free updates into shared-memory factors (skipped, with a reason
+  recorded in the report, on platforms without ``fork``).
+
+Each tier records per-epoch throughput (``samples_per_second`` — the
+same pairs-per-epoch-second definition :class:`~repro.core.bpr.EpochStats`
+exposes) plus its converged validation URR/NRR, so the speedup *and* the
+KPI cost of leaving the reference tier stay visible across PRs in
+``BENCH_train.json``, next to the other ``BENCH_*.json`` trajectories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.bpr import BPR, BPRConfig
+from repro.core.bpr_kernel import fork_sharing_available
+from repro.datasets.synthetic import generate_sources
+from repro.datasets.world import WorldConfig
+from repro.eval.evaluator import evaluate_model
+from repro.eval.split import split_readings
+from repro.perf.timer import Timer
+from repro.pipeline.merge import MergeConfig, build_merged_dataset
+
+DEFAULT_OUTPUT = "BENCH_train.json"
+
+
+@dataclass(frozen=True)
+class TrainBenchConfig:
+    """Shape and tier knobs for the training bench.
+
+    The defaults build the same mid-size catalogue as the parallel
+    bench: large enough that per-batch numpy work dominates Python
+    dispatch (where the fast kernel's advantage lives), small enough
+    that all tiers finish in well under a minute on a 2-vCPU host.
+    """
+
+    n_books: int = 2500
+    n_authors: int = 600
+    n_bct_users: int = 250
+    n_anobii_users: int = 1200
+    min_user_readings: int = 10
+    min_book_readings: int = 3
+    seed: int = 7
+    sampler: str = "warp"
+    n_factors: int = 20
+    learning_rate: float = 0.2
+    epochs: int = 8
+    k: int = 20
+    workers: int = 2
+    """Worker processes for the HogWild tier."""
+    repeats: int = 3
+    """Fit repeats per tier; the recorded throughput is the best epoch
+    across all repeats (the best-of defence against scheduler noise)."""
+
+
+def run_train_bench(
+    config: TrainBenchConfig | None = None,
+    output_path: str | Path | None = DEFAULT_OUTPUT,
+) -> dict[str, Any]:
+    """Benchmark every training tier and (optionally) write JSON.
+
+    Each tier's section reports per-epoch seconds and samples/sec for
+    the last fit, the best whole-fit samples/sec across repeats, its
+    validation URR/NRR at ``config.k``, and its throughput speedup over
+    the reference tier. A throughput win that moves the KPIs outside the
+    documented tolerance is not a win — the KPI deltas are recorded so
+    the reader can check.
+    """
+    config = config or TrainBenchConfig()
+    report: dict[str, Any] = {
+        "bench": "train",
+        "config": asdict(config),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+    with Timer("dataset build") as build_timer:
+        world = WorldConfig(
+            n_books=config.n_books,
+            n_authors=config.n_authors,
+            n_bct_users=config.n_bct_users,
+            n_anobii_users=config.n_anobii_users,
+            seed=config.seed,
+        )
+        sources = generate_sources(world)
+        merged, _ = build_merged_dataset(
+            sources.bct,
+            sources.anobii,
+            MergeConfig(
+                min_user_readings=config.min_user_readings,
+                min_book_readings=config.min_book_readings,
+            ),
+        )
+        split = split_readings(merged)
+    report["dataset"] = {
+        "books": merged.books.num_rows,
+        "readings": merged.readings.num_rows,
+        "train_pairs": int(split.train.n_interactions),
+        "build_seconds": build_timer.seconds,
+    }
+
+    tiers: dict[str, Any] = {}
+    tiers["reference"] = _bench_tier(config, split, kernel="reference")
+    tiers["fast"] = _bench_tier(config, split, kernel="fast")
+    if fork_sharing_available():
+        tiers["hogwild"] = _bench_tier(
+            config, split, kernel="fast", workers=config.workers
+        )
+    else:
+        tiers["hogwild"] = {
+            "skipped": "no fork start method on this platform"
+        }
+    reference_best = tiers["reference"]["best_samples_per_second"]
+    for name, tier in tiers.items():
+        if "skipped" in tier:
+            continue
+        tier["speedup_vs_reference"] = (
+            tier["best_samples_per_second"] / reference_best
+        )
+        tier["val_urr_delta_vs_reference"] = (
+            tier["val_urr"] - tiers["reference"]["val_urr"]
+        )
+    report["tiers"] = tiers
+
+    if output_path is not None:
+        path = Path(output_path)
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        report["output_path"] = str(path)
+    return report
+
+
+def _bench_tier(
+    config: TrainBenchConfig,
+    split,
+    kernel: str,
+    workers: int = 1,
+) -> dict[str, Any]:
+    """Fit one tier ``config.repeats`` times; report throughput and KPIs."""
+    bpr_config = BPRConfig(
+        n_factors=config.n_factors,
+        learning_rate=config.learning_rate,
+        epochs=config.epochs,
+        seed=config.seed,
+        sampler=config.sampler,
+        kernel=kernel,
+        workers=workers,
+    )
+    best_samples_per_second = 0.0
+    model = None
+    for _ in range(max(config.repeats, 1)):
+        model = BPR(bpr_config).fit(split.train)
+        # Whole-fit throughput: WARP trials grow as the model converges
+        # (late epochs draw many more negatives per pair), so a single
+        # cheap early epoch is not representative — the per-epoch
+        # trajectory is recorded alongside for that detail.
+        fit_seconds = sum(s.seconds for s in model.history)
+        pairs_processed = split.train.n_interactions * len(model.history)
+        if fit_seconds > 0:
+            best_samples_per_second = max(
+                best_samples_per_second, pairs_processed / fit_seconds
+            )
+    result = evaluate_model(
+        model, split, ks=(config.k,), holdout="val"
+    )
+    kpi = result.report(config.k)
+    last = model.history[-1]
+    return {
+        "kernel": kernel,
+        "workers": workers,
+        "epochs": config.epochs,
+        "epoch_seconds": [s.seconds for s in model.history],
+        "samples_per_second": [s.samples_per_second for s in model.history],
+        "best_samples_per_second": best_samples_per_second,
+        "updated_fraction": last.updated_fraction,
+        "mean_violation_trials": last.mean_violation_trials,
+        "val_urr": kpi.urr,
+        "val_nrr": kpi.nrr,
+    }

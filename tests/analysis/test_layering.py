@@ -127,6 +127,44 @@ class TestCycles:
         )
         assert result.ok, result.render_text()
 
+    def test_type_checking_back_reference_is_not_a_cycle(self, check_tree):
+        result = check_tree(
+            {
+                "low/__init__.py": "",
+                "low/alpha.py": "from low import beta\n",
+                "low/beta.py": """\
+                    from typing import TYPE_CHECKING
+
+                    if TYPE_CHECKING:
+                        from low import alpha
+                    """,
+            },
+            rules=rules(),
+        )
+        assert result.ok, result.render_text()
+
+    def test_type_checking_else_branch_still_counts(self, check_tree):
+        result = check_tree(
+            {
+                "low/__init__.py": "",
+                "low/alpha.py": "from low import beta\n",
+                "low/beta.py": """\
+                    from typing import TYPE_CHECKING
+
+                    if TYPE_CHECKING:
+                        VALUE = 1
+                    else:
+                        from low import alpha
+                    """,
+            },
+            rules=rules(),
+        )
+        assert any(
+            "import cycle: low.alpha -> low.beta -> low.alpha"
+            == finding.message
+            for finding in result.findings
+        )
+
 
 class TestDefaultSpec:
     def test_real_packages_map_to_layers(self):

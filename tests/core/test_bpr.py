@@ -61,6 +61,17 @@ class TestTraining:
         assert all(s.seconds >= 0 for s in model.history)
         assert all(0 <= s.updated_fraction <= 1 for s in model.history)
 
+    def test_samples_per_second_is_pairs_over_epoch_seconds(self):
+        """The one shared throughput definition (EpochStats, the
+        ``bpr.samples_per_second`` gauge, and bench-train all use it)."""
+        train = block_world()
+        model = BPR(BPRConfig(epochs=2, seed=0)).fit(train)
+        for stats in model.history:
+            assert stats.samples_per_second > 0
+            assert stats.samples_per_second == pytest.approx(
+                train.n_interactions / stats.seconds
+            )
+
     def test_deterministic_given_seed(self):
         train = block_world()
         first = BPR(BPRConfig(epochs=2, seed=5)).fit(train)

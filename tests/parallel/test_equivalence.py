@@ -27,9 +27,9 @@ GRID_KW = dict(
 )
 
 #: Series whose value is a wall-clock measurement (``eval.fit_seconds``,
-#: ``bpr.batch_seconds``, ...) — the one legitimate difference between a
-#: serial and a parallel run.
-TIMING_MARKERS = ("seconds", "duration", "latency")
+#: ``bpr.batch_seconds``, ``bpr.samples_per_second``, ...) — the one
+#: legitimate difference between a serial and a parallel run.
+TIMING_MARKERS = ("seconds", "duration", "latency", "per_second")
 
 
 def _strip_timing_series(snapshot: dict) -> dict:

@@ -1,0 +1,75 @@
+"""Smoke tests for the training-tier bench and its report rendering."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import render_train_bench_report
+from repro.core.bpr_kernel import fork_sharing_available
+from repro.perf.trainbench import TrainBenchConfig, run_train_bench
+
+#: Micro bench: every tier in a few seconds. Big enough that the fast
+#: kernel's per-batch savings beat its fixed overhead (the CI smoke job
+#: asserts fast >= reference on exactly this shape).
+MICRO = replace(
+    TrainBenchConfig(),
+    n_books=300, n_authors=110, n_bct_users=110, n_anobii_users=450,
+    min_user_readings=10, min_book_readings=3,
+    epochs=4, k=10, repeats=2,
+)
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH_train.json"
+    return run_train_bench(MICRO, output_path=path)
+
+
+class TestRunTrainBench:
+    def test_sections_present(self, report):
+        assert {"bench", "config", "dataset", "tiers"} <= set(report)
+        assert report["bench"] == "train"
+        assert {"reference", "fast", "hogwild"} == set(report["tiers"])
+
+    @pytest.mark.parametrize("tier", ["reference", "fast"])
+    def test_tier_schema(self, report, tier):
+        data = report["tiers"][tier]
+        assert data["kernel"] in ("reference", "fast")
+        assert len(data["epoch_seconds"]) == MICRO.epochs
+        assert len(data["samples_per_second"]) == MICRO.epochs
+        assert data["best_samples_per_second"] > 0
+        assert 0 <= data["val_urr"] <= 1
+        assert data["speedup_vs_reference"] == pytest.approx(
+            data["best_samples_per_second"]
+            / report["tiers"]["reference"]["best_samples_per_second"]
+        )
+
+    def test_fast_at_least_matches_reference_throughput(self, report):
+        assert (
+            report["tiers"]["fast"]["best_samples_per_second"]
+            >= report["tiers"]["reference"]["best_samples_per_second"]
+        )
+
+    @pytest.mark.skipif(
+        not fork_sharing_available(),
+        reason="hogwild needs the fork start method",
+    )
+    def test_hogwild_ran_and_recorded_kpis(self, report):
+        data = report["tiers"]["hogwild"]
+        assert "skipped" not in data
+        assert data["workers"] == MICRO.workers
+        assert 0 <= data["val_urr"] <= 1
+
+    def test_json_written_and_parses(self, report):
+        with open(report["output_path"], encoding="utf-8") as handle:
+            on_disk = json.load(handle)
+        assert on_disk["bench"] == "train"
+        assert set(on_disk["tiers"]) == {"reference", "fast", "hogwild"}
+
+
+class TestRenderReport:
+    def test_render_names_every_tier(self, report):
+        rendered = render_train_bench_report(report)
+        for token in ("reference", "fast", "hogwild", "pairs/s"):
+            assert token in rendered
