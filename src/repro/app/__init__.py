@@ -5,7 +5,10 @@ recommender behind the request/response interface the paper's VR GUI
 calls: resolve the user, produce the top-k unread books with their titles
 and authors, track per-request latency. :mod:`~repro.app.persistence`
 saves and loads fitted models and merged datasets so the service can start
-without retraining.
+without retraining, and :mod:`~repro.app.lifecycle` versions those model
+artefacts in a crash-safe :class:`~repro.app.lifecycle.ModelStore` with
+publish / rollback / gc operations and zero-downtime hot swap into the
+running service.
 """
 
 from repro.app.service import (
@@ -15,9 +18,12 @@ from repro.app.service import (
     ServedResponse,
     ServiceStats,
 )
+from repro.app.lifecycle import ModelStore, ModelVersion
 from repro.app.persistence import load_bpr, load_dataset, save_bpr, save_dataset
 
 __all__ = [
+    "ModelStore",
+    "ModelVersion",
     "RecommendationRequest",
     "RecommendationService",
     "ServedBook",

@@ -33,6 +33,7 @@ from repro.core.bpr import BPR, BPRConfig
 from repro.core.interactions import Indexer, InteractionMatrix
 from repro.datasets.merged import MergedDataset
 from repro.errors import ArtefactVersionError, PersistenceError
+from repro.resilience._ambient import fault_check
 from repro.resilience.artefacts import (
     atomic_write,
     verify_manifest,
@@ -141,6 +142,10 @@ def load_bpr(
         path = candidate
     if verify:
         verify_manifest(path, kind=BPR_KIND)
+    # Read-side crash point: chaos tests inject IO faults here to prove a
+    # failed load (not just a failed save) degrades cleanly — e.g. a hot
+    # swap that cannot read its candidate keeps serving the old model.
+    fault_check("io.read")
     try:
         archive = np.load(path, allow_pickle=False)
         version = int(archive["format_version"][0])

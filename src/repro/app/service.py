@@ -14,6 +14,15 @@ batch endpoint that funnels cache misses through the vectorised
 :meth:`~repro.core.base.Recommender.recommend_batch` scoring path, and a
 bounded latency window so long-lived services don't grow without limit.
 
+Lifecycle: :meth:`RecommendationService.refresh_from_store` hot-swaps
+the serving model from a versioned
+:class:`~repro.app.lifecycle.ModelStore` with zero downtime — the
+candidate is loaded, checksum-verified, and validated entirely outside
+the service lock, swapped in only on success, and any failure keeps the
+current model serving with a counted ``refresh_failed`` stat instead of
+an exception. Every response carries the serving version's name as
+``model_version`` provenance.
+
 Resilience: the primary model is guarded by a
 :class:`~repro.resilience.breaker.CircuitBreaker` and backed by a
 degradation chain — primary model → fitted
@@ -126,7 +135,10 @@ class ServedResponse:
     could serve it). ``degraded`` is True when a *failure* forced a
     fallback — a cold-start user intentionally served by the popularity
     list is not degraded. ``error`` carries the triggering failure, if
-    any, and ``from_cache`` marks LRU hits.
+    any, and ``from_cache`` marks LRU hits. ``model_version`` is the
+    model-store version name the serving model came from (``None`` when
+    the service was built from an in-memory model rather than a
+    :class:`~repro.app.lifecycle.ModelStore`).
     """
 
     books: tuple[ServedBook, ...]
@@ -134,6 +146,7 @@ class ServedResponse:
     degraded: bool = False
     error: str | None = None
     from_cache: bool = False
+    model_version: str | None = None
 
 
 @dataclass
@@ -164,6 +177,11 @@ class ServiceStats:
     latency_window: int = DEFAULT_LATENCY_WINDOW
     errors: int = 0
     last_error: str | None = None
+    refreshes: int = 0
+    """Successful hot swaps (:meth:`RecommendationService.refresh_from_store`)."""
+    refresh_failed: int = 0
+    """Rejected hot-swap candidates (corruption, validation, injected
+    faults); each one kept the previous model serving."""
     degradations: Counter = field(default_factory=Counter)
     histogram: "Histogram | None" = field(default=None, repr=False)
     """The shared latency histogram; a standalone one is built when the
@@ -229,6 +247,18 @@ class ServiceStats:
             self.errors += 1
             self.last_error = error
 
+    def note_refresh(self, ok: bool, error: BaseException | str | None = None) -> None:
+        """Account one hot-swap attempt; failures remember their cause."""
+        if isinstance(error, BaseException):
+            error = f"{type(error).__name__}: {error}"
+        with self._lock:
+            if ok:
+                self.refreshes += 1
+            else:
+                self.refresh_failed += 1
+                if error is not None:
+                    self.last_error = error
+
     def note_degraded(self, served_by: str, error: str | None = None) -> None:
         """Account one fallback-served request by its chain link.
 
@@ -278,6 +308,10 @@ class RecommendationService:
             ``service.*`` series always exist.
         tracer: optional :class:`~repro.obs.trace.Tracer`; when set, each
             cache-missed request and each batch gets a span.
+        model_version: provenance tag of the serving model (the
+            :class:`~repro.app.lifecycle.ModelStore` version name); set
+            automatically by :meth:`refresh_from_store` and stamped onto
+            every :class:`ServedResponse`.
 
     Thread safety: one service instance may be shared by any number of
     request threads (``scripts/loadgen.py`` drives exactly that). The
@@ -306,6 +340,7 @@ class RecommendationService:
         retry_sleep: Callable[[float], None] = time.sleep,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        model_version: str | None = None,
     ) -> None:
         if not model.is_fitted:
             raise ConfigurationError(
@@ -330,6 +365,7 @@ class RecommendationService:
         self.seed = seed
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        self.model_version = model_version
         self._m_requests = self.metrics.counter(
             "service.requests", help="requests answered (all paths)"
         )
@@ -344,6 +380,9 @@ class RecommendationService:
         )
         self._m_errors = self.metrics.counter(
             "service.errors", help="underlying scoring/fallback failures"
+        )
+        self._m_refreshes = self.metrics.counter(
+            "service.refreshes", help="hot-swap attempts by outcome label"
         )
         self._m_breaker_state = self.metrics.gauge(
             "service.breaker_state", help="0=closed, 1=half-open, 2=open"
@@ -399,6 +438,7 @@ class RecommendationService:
         model: Recommender,
         train: InteractionMatrix | None = None,
         cold_start_fallback: "MostReadItems | None" = None,
+        model_version: str | None = None,
     ) -> None:
         """Swap in a newly fitted model and invalidate the served cache.
 
@@ -407,6 +447,8 @@ class RecommendationService:
         because its failure history belongs to the previous model. The
         swap happens under the service lock, so a concurrent request
         sees either the old or the new (model, cache) pair.
+        ``model_version`` replaces the provenance tag stamped onto
+        responses (``None`` when the new model has no store version).
         """
         if not model.is_fitted:
             raise ConfigurationError(
@@ -418,6 +460,7 @@ class RecommendationService:
             )
         with self._lock:
             self.model = model
+            self.model_version = model_version
             if train is not None:
                 self.train = train
                 counts = train.item_counts().astype(np.float64)
@@ -427,6 +470,102 @@ class RecommendationService:
             self.breaker.reset()
             self._model_loaded_at = self._clock()
             self._cache.clear()
+
+    def refresh_from_store(
+        self,
+        store,
+        version: "str | int | None" = None,
+        probe_user: str | None = None,
+    ) -> bool:
+        """Zero-downtime hot swap from a versioned model store.
+
+        The expensive work — resolving the version, checksum-verified
+        loading, and candidate validation (shape/finiteness checks plus a
+        smoke-scored probe user) — all happens *outside* the service
+        lock, so in-flight requests keep being answered by the current
+        model throughout. Only a fully validated candidate is swapped in
+        (via :meth:`refresh_model`, under the lock, with the version name
+        as the new provenance tag).
+
+        Never raises to callers: any failure — a dangling ``CURRENT``,
+        corruption detected by the manifest, an injected IO fault, a
+        candidate that fails validation — leaves the current model
+        serving, counts one :attr:`ServiceStats.refresh_failed`, and
+        returns ``False``.
+
+        Args:
+            store: a :class:`~repro.app.lifecycle.ModelStore`.
+            version: version name/number to load (default: ``CURRENT``).
+            probe_user: user id to smoke-score during validation; default
+                is the candidate's first known user.
+
+        Returns:
+            True when the candidate was swapped in, False when it was
+            rejected (the previous model keeps serving).
+        """
+        with start_span(
+            self.tracer, "service.refresh", version=str(version)
+        ) as span:
+            try:
+                resolved = store.resolve(version)
+                candidate, train = store.load(resolved)
+                self._validate_candidate(candidate, train, probe_user)
+            except Exception as exc:  # repro: allow[exceptions] — degrade, never fail
+                self.stats.note_refresh(ok=False, error=exc)
+                self._m_refreshes.labels(outcome="failed").inc()
+                self._m_errors.inc()
+                span.set_attrs(outcome="failed", error=type(exc).__name__)
+                return False
+            self.refresh_model(candidate, train, model_version=resolved.name)
+            self.stats.note_refresh(ok=True)
+            self._m_refreshes.labels(outcome="ok").inc()
+            span.set_attrs(outcome="ok", version=resolved.name)
+            return True
+
+    def _validate_candidate(
+        self,
+        model: Recommender,
+        train: InteractionMatrix,
+        probe_user: str | None,
+    ) -> None:
+        """Reject a hot-swap candidate before it can reach the lock.
+
+        Checks, in order: the model is fitted; its factor matrices (when
+        it has any) are finite; and a probe user's recommendation request
+        smoke-executes to a non-empty, in-catalogue list. Raises
+        :class:`~repro.errors.ConfigurationError` on any failure — the
+        caller converts that into a counted, non-raising rejection.
+        """
+        if not model.is_fitted:
+            raise ConfigurationError("hot-swap candidate is not fitted")
+        for attr in ("user_factors", "item_factors"):
+            factors = getattr(model, attr, None)
+            if factors is not None and not np.isfinite(factors).all():
+                raise ConfigurationError(
+                    f"hot-swap candidate has non-finite {attr}"
+                )
+        if train.n_users < 1 or train.n_items < 1:
+            raise ConfigurationError(
+                "hot-swap candidate has an empty catalogue"
+            )
+        if probe_user is not None:
+            if probe_user not in train.users:
+                raise ConfigurationError(
+                    f"probe user {probe_user!r} is unknown to the candidate"
+                )
+            probe_index = int(train.users.index_of(probe_user))
+        else:
+            probe_index = 0
+        k = min(DEFAULT_K, train.n_items)
+        items = np.asarray(model.recommend(probe_index, k))
+        if len(items) == 0:
+            raise ConfigurationError(
+                "hot-swap candidate served an empty list for the probe user"
+            )
+        if int(items.min()) < 0 or int(items.max()) >= train.n_items:
+            raise ConfigurationError(
+                "hot-swap candidate recommended items outside its catalogue"
+            )
 
     def _cache_get(self, key: tuple[str, int]) -> ServedResponse | None:
         if not self.cache_size:
@@ -483,7 +622,7 @@ class RecommendationService:
             k=request.k,
         ) as span:
             try:
-                response = self._resolve(request)
+                response = self._stamped(self._resolve(request))
             except UnknownUserError:
                 self.stats.record(self._clock() - started)
                 raise
@@ -547,15 +686,15 @@ class RecommendationService:
                 continue
             # Unknown users, and known users behind an open breaker.
             try:
-                response = self._resolve(request)
+                response = self._stamped(self._resolve(request))
             except UnknownUserError as exc:
                 self._note_error(exc)
-                response = ServedResponse(
+                response = self._stamped(ServedResponse(
                     books=(),
                     served_by=SERVED_BY_NONE,
                     degraded=True,
                     error=f"{type(exc).__name__}: {exc}",
-                )
+                ))
                 self.stats.note_degraded(SERVED_BY_NONE)
                 self._m_degraded.labels(source=SERVED_BY_NONE).inc()
                 self._m_served.labels(source=SERVED_BY_NONE).inc()
@@ -574,21 +713,21 @@ class RecommendationService:
                 error = f"{type(exc).__name__}: {exc}"
                 for position, user_index in entries:
                     items, source = self._fallback_items(user_index, k)
-                    response = ServedResponse(
+                    response = self._stamped(ServedResponse(
                         books=tuple(self._serve_books(items, k)),
                         served_by=source,
                         degraded=True,
                         error=error,
-                    )
+                    ))
                     self._account(response)
                     results[position] = response
                 continue
             self.breaker.record_success()
             for (position, _), items in zip(entries, batches):
-                response = ServedResponse(
+                response = self._stamped(ServedResponse(
                     books=tuple(self._serve_books(items, k)),
                     served_by=SERVED_BY_PRIMARY,
-                )
+                ))
                 self._account(response)
                 self._cache_put((requests[position].user_id, k), response)
                 results[position] = response
@@ -656,9 +795,14 @@ class RecommendationService:
             },
             "model": {
                 "name": self.model.name,
+                "version": self.model_version,
                 "staleness_seconds": round(
                     self._clock() - self._model_loaded_at, 3
                 ),
+            },
+            "refreshes": {
+                "ok": stats.refreshes,
+                "failed": stats.refresh_failed,
             },
             "requests": stats.requests,
             "degraded_requests": stats.degraded_requests,
@@ -801,6 +945,18 @@ class RecommendationService:
         if user_index is None:
             return np.asarray([], dtype=np.int64)
         return np.asarray(self.train.user_items(user_index), dtype=np.int64)
+
+    def _stamped(self, response: ServedResponse) -> ServedResponse:
+        """Attach the serving model's version provenance to a response.
+
+        Read without the lock: during a concurrent hot swap a response
+        may carry the adjacent version's name, but always the name of a
+        *published* version — never a torn or invalid tag.
+        """
+        version = self.model_version
+        if version is None or response.model_version == version:
+            return response
+        return replace(response, model_version=version)
 
     def _note_error(self, error: BaseException | str) -> None:
         """Record a failure in both the stats and the metrics registry."""

@@ -14,7 +14,15 @@ Commands:
   evaluation, similarity build, cached serving) and write
   ``BENCH_fastpath.json``.
 - ``health <path>`` — verify the checksum manifests of saved artefacts
-  (datasets and models) and print a health report; exits 1 on corruption.
+  (datasets, models, and versioned model stores) and print a health
+  report; exits 1 on corruption. For a model store the report lists every
+  version, its manifest status, and which one ``CURRENT`` points at, and
+  fails when ``CURRENT`` dangles or its version is corrupt.
+- ``lifecycle <action> <store>`` — manage a versioned model store:
+  ``publish`` fits BPR (warm-started from the current version when
+  possible) and publishes it as the next version, ``rollback`` repoints
+  ``CURRENT`` at an earlier intact version, ``list`` prints the version
+  table, ``gc`` sweeps old/broken versions.
 - ``metrics <path>`` — run the instrumented demo (pipeline → fit →
   evaluate → serve), write the metrics snapshot JSON to ``<path>``, and
   optionally export the span trace (``--trace out.jsonl``) plus a
@@ -61,6 +69,8 @@ commands:
   bench-parallel      serial-vs-parallel bench -> BENCH_parallel.json
   bench-train         BPR training-tier bench -> BENCH_train.json
   health <path>       verify artefact checksum manifests (exit 1 = corrupt)
+  lifecycle <action> <store>
+                      versioned model store: publish | rollback | list | gc
   metrics <path>      instrumented demo -> metrics snapshot JSON
   check [paths]       run the static analyzer (exit 1 = findings)
 
@@ -176,7 +186,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify artefact checksums and print a health report",
     )
     health.add_argument(
-        "target", help="artefact to check: a dataset/model directory or file"
+        "target",
+        help="artefact to check: a dataset/model directory, a model store, "
+        "or a file",
+    )
+
+    lifecycle = sub.add_parser(
+        "lifecycle",
+        help="manage a versioned model store (publish/rollback/list/gc)",
+    )
+    lifecycle.add_argument(
+        "action", choices=("publish", "rollback", "list", "gc"),
+        help="publish: fit + publish the next version (warm-started from "
+        "CURRENT when possible); rollback: repoint CURRENT at an earlier "
+        "intact version; list: print the version table; gc: sweep "
+        "old/broken versions",
+    )
+    lifecycle.add_argument("store", help="model store directory")
+    lifecycle.add_argument(
+        "--to", default=None, metavar="VERSION",
+        help="rollback target version name (default: newest intact "
+        "version older than CURRENT)",
+    )
+    lifecycle.add_argument(
+        "--keep", type=int, default=None, metavar="N",
+        help="intact versions gc keeps besides CURRENT (default: 2)",
+    )
+    lifecycle.add_argument(
+        "--cold", action="store_true",
+        help="publish without warm-starting from the current version",
     )
 
     metrics = sub.add_parser(
@@ -230,6 +268,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "health":
         return _health(args.target)
+    if args.command == "lifecycle":
+        return _lifecycle(args)
     if args.command == "metrics":
         return _metrics(args)
     if args.command == "bench-parallel":
@@ -323,10 +363,14 @@ def _health(target: str) -> int:
     from repro.errors import PersistenceError
     from repro.resilience.artefacts import MANIFEST_NAME, verify_manifest
 
+    from repro.app.lifecycle import ModelStore
+
     root = Path(target)
     if not root.exists():
         print(f"health: {root} does not exist")
         return 1
+    if ModelStore.is_store(root):
+        return _health_store(ModelStore(root))
     checks: list[tuple[str, Path]] = []
     if root.is_file():
         checks.append((root.name, root))
@@ -359,6 +403,101 @@ def _health(target: str) -> int:
         print(f"status: corrupt ({failures} of {len(checks)} artefacts failed)")
         return 1
     print(f"status: ok ({len(checks)} artefact(s) verified)")
+    return 0
+
+
+def _health_store(store) -> int:
+    """Report a model store's versions and ``CURRENT`` pointer.
+
+    Exit 0 only when ``CURRENT`` resolves to an intact version. Broken
+    *non-current* versions are listed (they are ``lifecycle gc`` fodder)
+    but do not fail the store.
+    """
+    report = store.health_report()
+    print(f"model store health report for {report['root']}")
+    if not report["versions"]:
+        print("  no versions published")
+    for version in report["versions"]:
+        marker = "  <- CURRENT" if version["name"] == report["current"] else ""
+        state = "ok   " if version["status"] == "ok" else "FAIL "
+        detail = "" if version["status"] == "ok" else f" {version['status']}"
+        print(f"  {version['name']:<12} {state}{detail}{marker}")
+    if report["current"] is None:
+        print("  CURRENT: (unpublished)")
+    else:
+        print(f"  CURRENT: {report['current']} [{report['current_status']}]")
+    print(f"status: {report['status']}")
+    return 0 if report["status"] == "ok" else 1
+
+
+def _lifecycle(args: argparse.Namespace) -> int:
+    """Drive the versioned model store; exit 1 on lifecycle failures."""
+    from repro.app.lifecycle import DEFAULT_GC_KEEP, ModelStore
+    from repro.errors import PersistenceError, ReproError
+
+    store = ModelStore(args.store)
+    try:
+        if args.action == "publish":
+            return _lifecycle_publish(args, store)
+        if args.action == "rollback":
+            target = store.rollback(args.to)
+            print(f"rolled back: CURRENT -> {target.name}")
+            return 0
+        if args.action == "gc":
+            keep = args.keep if args.keep is not None else DEFAULT_GC_KEEP
+            removed = store.gc(keep=keep)
+            names = ", ".join(v.name for v in removed) if removed else "nothing"
+            print(f"gc removed: {names} (kept {keep} + CURRENT)")
+            return 0
+    except (PersistenceError, ReproError) as exc:
+        print(f"lifecycle: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    # list
+    report = store.health_report()
+    if not report["versions"]:
+        print(f"model store {args.store}: no versions published")
+        return 0
+    print(f"model store {args.store}")
+    for version in report["versions"]:
+        marker = "  <- CURRENT" if version["name"] == report["current"] else ""
+        print(f"  {version['name']:<12} {version['status']}{marker}")
+    return 0
+
+
+def _lifecycle_publish(args: argparse.Namespace, store) -> int:
+    """Fit BPR at the configured scale and publish it as the next version."""
+    from repro.errors import PersistenceError
+
+    config = config_for_scale(
+        args.scale, seed=args.seed, n_jobs=args.jobs,
+        train_kernel=args.train_kernel, train_workers=args.train_workers,
+    )
+    context = ExperimentContext(config)
+    warm = None
+    if not args.cold:
+        try:
+            warm, _ = store.load()
+        except PersistenceError:
+            warm = None  # first publish, or broken current: cold start
+        if warm is not None and warm.config.n_factors != config.bpr.n_factors:
+            print(
+                f"warm start skipped: current version has "
+                f"{warm.config.n_factors} factors, config wants "
+                f"{config.bpr.n_factors}"
+            )
+            warm = None
+    from repro.core.bpr import BPR
+
+    model = BPR(config.bpr)
+    train = context.split.train
+    model.fit(train, context.merged, warm_start=warm)
+    version = store.publish(model, train)
+    mode = "warm-started" if warm is not None else "cold"
+    print(
+        f"published {version.name} ({mode}): "
+        f"{train.n_users} users x {train.n_items} items, "
+        f"CURRENT -> {version.name}"
+    )
     return 0
 
 

@@ -1,0 +1,267 @@
+"""ModelStore: versioned publish / rollback / gc and the health report.
+
+The store's contract is that published versions are immutable, numbered
+monotonically, and checksummed; ``CURRENT`` only ever names a version
+that passed verification at publish (or rollback) time. These tests
+cover the happy paths and every documented error; the crash-safety half
+of the contract lives in ``tests/resilience/test_lifecycle_chaos.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.app.lifecycle import (
+    CURRENT_NAME,
+    DEFAULT_GC_KEEP,
+    ModelStore,
+    ModelVersion,
+    version_name,
+)
+from repro.errors import PersistenceError
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ModelStore(tmp_path / "store")
+
+
+@pytest.fixture()
+def published(store, tiny_bpr, tiny_split):
+    """A store with one published version."""
+    version = store.publish(tiny_bpr, tiny_split.train)
+    return store, version
+
+
+def corrupt(version: ModelVersion) -> None:
+    """Flip bytes in a version's artefact so its checksum no longer holds."""
+    data = bytearray(version.model_path.read_bytes())
+    data[:16] = b"\x00" * 16
+    version.model_path.write_bytes(bytes(data))
+
+
+class TestPublish:
+    def test_first_publish_creates_v1_and_points_current(self, published):
+        store, version = published
+        assert version.name == "v000001"
+        assert version.number == 1
+        assert version.model_path.exists()
+        assert version.model_path.with_name(
+            "model.npz.manifest.json"
+        ).exists()
+        assert store.current_name() == "v000001"
+        assert store.current() == version
+
+    def test_versions_are_monotonic(self, published, tiny_bpr, tiny_split):
+        store, _ = published
+        second = store.publish(tiny_bpr, tiny_split.train)
+        third = store.publish(tiny_bpr, tiny_split.train)
+        assert [v.name for v in store.versions()] == [
+            "v000001", "v000002", "v000003",
+        ]
+        assert second.number == 2 and third.number == 3
+        assert store.current() == third
+
+    def test_load_round_trips_factors(self, published, tiny_bpr):
+        store, _ = published
+        model, train = store.load()
+        assert np.array_equal(model.user_factors, tiny_bpr.user_factors)
+        assert np.array_equal(model.item_factors, tiny_bpr.item_factors)
+        assert train.n_users == len(tiny_bpr.user_factors)
+
+    def test_publish_counts_metric(self, tmp_path, tiny_bpr, tiny_split):
+        metrics = MetricsRegistry()
+        store = ModelStore(tmp_path / "store", metrics=metrics)
+        store.publish(tiny_bpr, tiny_split.train)
+        store.publish(tiny_bpr, tiny_split.train)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["lifecycle.publishes"]["value"] == 2
+
+
+class TestResolve:
+    def test_resolve_by_name_number_instance_and_none(self, published):
+        store, version = published
+        assert store.resolve("v000001") == version
+        assert store.resolve(1) == version
+        assert store.resolve(version) == version
+        assert store.resolve(None) == version
+
+    def test_unknown_version_raises(self, published):
+        store, _ = published
+        with pytest.raises(PersistenceError, match="no version"):
+            store.resolve("v000042")
+        with pytest.raises(PersistenceError, match="no version"):
+            store.resolve(42)
+
+    def test_empty_store_has_no_current(self, store):
+        assert store.versions() == []
+        assert store.current_name() is None
+        assert store.current() is None
+        with pytest.raises(PersistenceError, match="no published version"):
+            store.resolve(None)
+
+    def test_dangling_current_raises(self, published):
+        store, version = published
+        (store.root / CURRENT_NAME).write_text("v000099\n", encoding="utf-8")
+        with pytest.raises(PersistenceError, match="does not exist"):
+            store.current()
+
+    def test_version_name_is_zero_padded(self):
+        assert version_name(1) == "v000001"
+        assert version_name(123456) == "v123456"
+
+
+class TestVerify:
+    def test_status_ok_for_intact_version(self, published):
+        store, version = published
+        assert store.status(version) == "ok"
+        manifest = store.verify(version)
+        assert manifest["kind"] == "bpr-model"
+
+    def test_status_names_the_error_for_corrupt_version(self, published):
+        store, version = published
+        corrupt(version)
+        assert store.status(version) == "ChecksumMismatchError"
+        with pytest.raises(PersistenceError):
+            store.load(version)
+
+
+class TestRollback:
+    def test_default_rollback_targets_previous_intact(
+        self, published, tiny_bpr, tiny_split
+    ):
+        store, first = published
+        store.publish(tiny_bpr, tiny_split.train)
+        target = store.rollback()
+        assert target == first
+        assert store.current() == first
+
+    def test_rollback_skips_broken_versions(
+        self, published, tiny_bpr, tiny_split
+    ):
+        store, first = published
+        second = store.publish(tiny_bpr, tiny_split.train)
+        store.publish(tiny_bpr, tiny_split.train)
+        corrupt(second)
+        assert store.rollback() == first
+
+    def test_explicit_rollback_verifies_target(
+        self, published, tiny_bpr, tiny_split
+    ):
+        store, first = published
+        store.publish(tiny_bpr, tiny_split.train)
+        corrupt(first)
+        with pytest.raises(PersistenceError):
+            store.rollback(to=first)
+        # CURRENT never moved onto the broken target.
+        assert store.current_name() == "v000002"
+
+    def test_rollback_with_nothing_earlier_raises(self, published):
+        store, _ = published
+        with pytest.raises(PersistenceError, match="no intact earlier"):
+            store.rollback()
+
+
+class TestGc:
+    def test_keeps_newest_intact_and_current(
+        self, published, tiny_bpr, tiny_split
+    ):
+        store, first = published
+        for _ in range(3):
+            store.publish(tiny_bpr, tiny_split.train)
+        store.rollback(to=first)  # CURRENT pinned to the oldest
+        removed = store.gc(keep=DEFAULT_GC_KEEP)
+        kept = {v.name for v in store.versions()}
+        # the two newest intact versions plus the CURRENT target survive
+        assert kept == {"v000001", "v000003", "v000004"}
+        assert {v.name for v in removed} == {"v000002"}
+
+    def test_removes_broken_non_current_versions(
+        self, published, tiny_bpr, tiny_split
+    ):
+        store, _ = published
+        second = store.publish(tiny_bpr, tiny_split.train)
+        store.publish(tiny_bpr, tiny_split.train)
+        corrupt(second)
+        removed = store.gc(keep=2)
+        assert {v.name for v in removed} == {"v000002"}
+
+    def test_never_removes_current_even_if_corrupt(
+        self, published, tiny_bpr, tiny_split
+    ):
+        store, _ = published
+        current = store.publish(tiny_bpr, tiny_split.train)
+        corrupt(current)
+        store.gc(keep=1)
+        assert store.current_name() == current.name
+        assert current.path.exists()
+
+    def test_keep_must_be_positive(self, published):
+        store, _ = published
+        with pytest.raises(PersistenceError, match="keep must be"):
+            store.gc(keep=0)
+
+    def test_gc_after_publishes_numbers_keep_growing(
+        self, published, tiny_bpr, tiny_split
+    ):
+        store, _ = published
+        for _ in range(2):
+            store.publish(tiny_bpr, tiny_split.train)
+        store.gc(keep=1)
+        version = store.publish(tiny_bpr, tiny_split.train)
+        # numbers are monotonic even across gc: no name is ever reused
+        assert version.name == "v000004"
+
+
+class TestHealthReport:
+    def test_healthy_store(self, published, tiny_bpr, tiny_split):
+        store, _ = published
+        store.publish(tiny_bpr, tiny_split.train)
+        report = store.health_report()
+        assert report["status"] == "ok"
+        assert report["current"] == "v000002"
+        assert report["current_status"] == "ok"
+        assert [v["status"] for v in report["versions"]] == ["ok", "ok"]
+
+    def test_broken_old_version_does_not_fail_the_store(
+        self, published, tiny_bpr, tiny_split
+    ):
+        store, first = published
+        store.publish(tiny_bpr, tiny_split.train)
+        corrupt(first)
+        report = store.health_report()
+        assert report["status"] == "ok"
+        statuses = {v["name"]: v["status"] for v in report["versions"]}
+        assert statuses["v000001"] == "ChecksumMismatchError"
+
+    def test_dangling_current_is_corrupt(self, published):
+        store, _ = published
+        (store.root / CURRENT_NAME).write_text("v000099\n", encoding="utf-8")
+        report = store.health_report()
+        assert report["status"] == "corrupt"
+        assert report["current_status"] == "dangling"
+
+    def test_corrupt_current_is_corrupt(self, published):
+        store, version = published
+        corrupt(version)
+        report = store.health_report()
+        assert report["status"] == "corrupt"
+        assert report["current_status"] == "ChecksumMismatchError"
+
+    def test_unpublished_store(self, store):
+        report = store.health_report()
+        assert report["current"] is None
+        assert report["current_status"] == "unpublished"
+        assert report["status"] == "corrupt"
+
+
+class TestIsStore:
+    def test_recognises_store_directories(self, published, tmp_path):
+        store, _ = published
+        assert ModelStore.is_store(store.root)
+        assert not ModelStore.is_store(tmp_path)  # plain directory
+        assert not ModelStore.is_store(tmp_path / "missing")
+
+    def test_version_directory_without_current_counts(self, tmp_path):
+        (tmp_path / "v000001").mkdir()
+        assert ModelStore.is_store(tmp_path)

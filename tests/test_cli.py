@@ -162,6 +162,78 @@ class TestHealth:
         assert "status: ok" in capsys.readouterr().out
 
 
+class TestLifecycleCommand:
+    @pytest.fixture()
+    def store(self, tmp_path, tiny_bpr, tiny_split):
+        from repro.app.lifecycle import ModelStore
+
+        store = ModelStore(tmp_path / "store")
+        store.publish(tiny_bpr, tiny_split.train)
+        store.publish(tiny_bpr, tiny_split.train)
+        return store
+
+    def test_publish_cold_then_warm(self, tmp_path, capsys):
+        target = tmp_path / "store"
+        assert main(
+            ["--scale", "small", "lifecycle", "publish", str(target)]
+        ) == 0
+        assert "published v000001 (cold)" in capsys.readouterr().out
+        assert main(
+            ["--scale", "small", "lifecycle", "publish", str(target)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "published v000002 (warm-started)" in out
+        assert "CURRENT -> v000002" in out
+
+    def test_list_marks_current(self, store, capsys):
+        assert main(["lifecycle", "list", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "v000001" in out
+        assert "v000002" in out and "<- CURRENT" in out
+
+    def test_rollback_and_gc(self, store, capsys):
+        assert main(["lifecycle", "rollback", str(store.root)]) == 0
+        assert "CURRENT -> v000001" in capsys.readouterr().out
+        assert main(
+            ["lifecycle", "gc", str(store.root), "--keep", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gc removed:" in out
+        assert store.current_name() == "v000001"
+
+    def test_rollback_to_specific_version(self, store, capsys):
+        assert main(
+            ["lifecycle", "rollback", str(store.root), "--to", "v000001"]
+        ) == 0
+        assert store.current_name() == "v000001"
+
+    def test_rollback_without_earlier_version_fails(
+        self, tmp_path, capsys
+    ):
+        assert main(["lifecycle", "rollback", str(tmp_path)]) == 1
+        assert "lifecycle:" in capsys.readouterr().err
+
+    def test_health_understands_a_store(self, store, capsys):
+        assert main(["health", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "model store health report" in out
+        assert "CURRENT: v000002 [ok]" in out
+        assert "status: ok" in out
+
+    def test_health_fails_on_corrupt_current(self, store, capsys):
+        current = store.resolve(None)
+        current.model_path.write_bytes(b"garbage")
+        assert main(["health", str(store.root)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "status: corrupt" in out
+
+    def test_health_fails_on_dangling_current(self, store, capsys):
+        (store.root / "CURRENT").write_text("v000099\n", encoding="utf-8")
+        assert main(["health", str(store.root)]) == 1
+        assert "[dangling]" in capsys.readouterr().out
+
+
 class TestMetricsCommand:
     def test_writes_snapshot_and_trace(self, tmp_path, capsys):
         snapshot_path = tmp_path / "metrics.json"
