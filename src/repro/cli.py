@@ -32,6 +32,13 @@ Commands:
   embedding, merge pipeline) and write ``BENCH_parallel.json``.
 - ``bench-train`` — benchmark the BPR training tiers (reference /
   fast / hogwild) and write ``BENCH_train.json``.
+- ``corpus <dir>`` — generate a sharded, out-of-core synthetic corpus
+  (columnar npz shards behind checksum manifests) for the paper-scale
+  data path; ``--resume`` continues an interrupted write, reusing every
+  shard that already verifies.
+- ``bench-scale`` — run the out-of-core scale bench (sharded corpus
+  generation + streaming merge, rows/sec and peak RSS per phase) and
+  write ``BENCH_scale.json``.
 - ``check [paths]`` — run the static analyzer (determinism, layering,
   lock discipline, exception hygiene, docs integrity) over the given
   paths (default ``src``); exits 1 when findings survive suppression.
@@ -68,6 +75,8 @@ commands:
   bench               fast-path perf bench -> BENCH_fastpath.json
   bench-parallel      serial-vs-parallel bench -> BENCH_parallel.json
   bench-train         BPR training-tier bench -> BENCH_train.json
+  bench-scale         out-of-core corpus + streaming-merge bench -> BENCH_scale.json
+  corpus <dir>        generate a sharded synthetic corpus (npz shards + manifests)
   health <path>       verify artefact checksum manifests (exit 1 = corrupt)
   lifecycle <action> <store>
                       versioned model store: publish | rollback | list | gc
@@ -181,6 +190,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="small dataset for smoke runs (not representative)",
     )
 
+    bench_scale = sub.add_parser(
+        "bench-scale",
+        help="run the out-of-core scale bench and write JSON",
+    )
+    bench_scale.add_argument(
+        "--bench-output", default=None, metavar="PATH",
+        help="where to write the bench JSON (default: BENCH_scale.json)",
+    )
+    bench_scale.add_argument(
+        "--quick", action="store_true",
+        help="small corpus for smoke runs; also measures the in-memory "
+        "reference merge for the RSS comparison",
+    )
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="generate a sharded synthetic corpus (npz shards + manifests)",
+    )
+    corpus.add_argument("directory", help="where to write the corpus")
+    corpus.add_argument(
+        "--loans", type=int, default=None, metavar="N",
+        help="number of BCT loan events (default: 100000)",
+    )
+    corpus.add_argument(
+        "--ratings", type=int, default=None, metavar="N",
+        help="number of Anobii rating events (default: 100000)",
+    )
+    corpus.add_argument(
+        "--books", type=int, default=None, metavar="N",
+        help="catalogue size (default: 2000)",
+    )
+    corpus.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shards per event stream (default: 8; row-identical for "
+        "every value)",
+    )
+    corpus.add_argument(
+        "--rows-per-chunk", type=int, default=None, metavar="N",
+        help="rows per deterministic generation chunk (default: 65536)",
+    )
+    corpus.add_argument(
+        "--resume", action="store_true",
+        help="keep shards that already verify against their manifests "
+        "and only regenerate the rest",
+    )
+
     health = sub.add_parser(
         "health",
         help="verify artefact checksums and print a health report",
@@ -276,6 +331,10 @@ def main(argv: list[str] | None = None) -> int:
         return _bench_parallel(args)
     if args.command == "bench-train":
         return _bench_train(args)
+    if args.command == "bench-scale":
+        return _bench_scale(args)
+    if args.command == "corpus":
+        return _corpus(args)
     if args.command == "check":
         return _check(args)
     config = config_for_scale(
@@ -638,6 +697,53 @@ def _bench_train(args: argparse.Namespace) -> int:
         config, output_path=args.bench_output or DEFAULT_OUTPUT
     )
     print(render_train_bench_report(report))
+    return 0
+
+
+def _bench_scale(args: argparse.Namespace) -> int:
+    from repro.perf.scalebench import (
+        DEFAULT_OUTPUT,
+        ScaleBenchConfig,
+        render_scale_report,
+        run_scale_bench,
+    )
+
+    config = ScaleBenchConfig.quick() if args.quick else ScaleBenchConfig()
+    report = run_scale_bench(
+        config, output_path=args.bench_output or DEFAULT_OUTPUT
+    )
+    print(render_scale_report(report))
+    return 0
+
+
+def _corpus(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.datasets.corpus import CorpusConfig, ShardedCorpusWriter
+
+    config = CorpusConfig()
+    if args.seed is not None:
+        config = dc_replace(config, seed=args.seed)
+    if args.loans is not None:
+        config = dc_replace(config, n_loans=args.loans)
+    if args.ratings is not None:
+        config = dc_replace(config, n_ratings=args.ratings)
+    if args.books is not None:
+        config = dc_replace(config, n_books=args.books)
+    if args.shards is not None:
+        config = dc_replace(config, n_shards=args.shards)
+    if args.rows_per_chunk is not None:
+        config = dc_replace(config, rows_per_chunk=args.rows_per_chunk)
+    corpus = ShardedCorpusWriter(args.directory, config).write(
+        resume=args.resume
+    )
+    meta = corpus.meta
+    print(
+        f"corpus written to {args.directory}: "
+        f"{meta['n_loans']} loans in {meta['loan_shards']} shard(s), "
+        f"{meta['n_ratings']} ratings in {meta['rating_shards']} shard(s)"
+    )
+    print(f"verify with: python -m repro health {args.directory}")
     return 0
 
 

@@ -137,14 +137,39 @@ class InteractionMatrix:
         :meth:`Indexer.indices_of` (one binary search over the sorted id
         arrays) rather than one dict probe per event.
         """
-        pairs = list(pairs)
+        user_ids: list = []
+        item_ids: list = []
+        for user, item in pairs:
+            user_ids.append(user)
+            item_ids.append(item)
+        return cls.from_id_lists(user_ids, item_ids, users=users, items=items)
+
+    @classmethod
+    def from_id_lists(
+        cls,
+        user_ids: Sequence[Hashable],
+        item_ids: Sequence[Hashable],
+        users: Indexer | None = None,
+        items: Indexer | None = None,
+    ) -> "InteractionMatrix":
+        """Build from parallel user-id / item-id columns.
+
+        The columnar counterpart of :meth:`from_pairs` — no per-event
+        tuples are materialised, so this is the entry point for the
+        streaming/out-of-core paths where the event count is large.
+        """
+        if len(user_ids) != len(item_ids):
+            raise DatasetError(
+                f"user ids ({len(user_ids)}) and item ids ({len(item_ids)}) "
+                "must have equal length"
+            )
         if users is None:
-            users = Indexer(user for user, _ in pairs)
+            users = Indexer(user_ids)
         if items is None:
-            items = Indexer(item for _, item in pairs)
-        rows = users.indices_of([user for user, _ in pairs])
-        cols = items.indices_of([item for _, item in pairs])
-        data = np.ones(len(pairs), dtype=np.float64)
+            items = Indexer(item_ids)
+        rows = users.indices_of(user_ids)
+        cols = items.indices_of(item_ids)
+        data = np.ones(len(user_ids), dtype=np.float64)
         matrix = sparse.coo_matrix(
             (data, (rows, cols)), shape=(len(users), len(items))
         )
@@ -157,12 +182,19 @@ class InteractionMatrix:
         users: Indexer | None = None,
         items: Indexer | None = None,
     ) -> "InteractionMatrix":
-        """Build from a merged ``readings`` table (user_id, book_id columns)."""
-        pairs = zip(
-            (str(u) for u in readings["user_id"]),
-            (int(b) for b in readings["book_id"]),
+        """Build from a merged ``readings`` table (user_id, book_id columns).
+
+        Columns convert via ``ndarray.tolist()`` (one C-level pass that
+        yields the same Python ``str``/``int`` ids the row-wise path
+        produced) instead of a per-element generator, keeping the
+        construction linear-time and allocation-light at corpus scale.
+        """
+        return cls.from_id_lists(
+            readings["user_id"].tolist(),
+            readings["book_id"].tolist(),
+            users=users,
+            items=items,
         )
-        return cls.from_pairs(pairs, users=users, items=items)
 
     # ------------------------------------------------------------------
     # views and accessors

@@ -14,7 +14,10 @@ an Anobii dump). Neither is distributable, so this subpackage provides:
 - :mod:`repro.datasets.bct` / :mod:`repro.datasets.anobii` — typed dataset
   containers with integrity validation;
 - :mod:`repro.datasets.merged` — the merged dataset (joined catalogue +
-  unified Readings table) the recommenders are trained on.
+  unified Readings table) the recommenders are trained on;
+- :mod:`repro.datasets.corpus` — paper-scale, out-of-core generation: a
+  seed-sharded corpus written as columnar npz shards behind checksum
+  manifests, row-identical for every shard count.
 """
 
 from repro.datasets.models import (
@@ -30,6 +33,11 @@ from repro.datasets.synthetic import generate_sources
 from repro.datasets.bct import BCTDataset
 from repro.datasets.anobii import AnobiiDataset
 from repro.datasets.merged import MergedDataset
+from repro.datasets.corpus import (
+    CorpusConfig,
+    ShardedCorpus,
+    ShardedCorpusWriter,
+)
 
 __all__ = [
     "ANOBII_ITEMS_SCHEMA",
@@ -44,4 +52,7 @@ __all__ = [
     "BCTDataset",
     "AnobiiDataset",
     "MergedDataset",
+    "CorpusConfig",
+    "ShardedCorpus",
+    "ShardedCorpusWriter",
 ]

@@ -1,0 +1,196 @@
+"""Scale bench: out-of-core corpus generation + streaming merge.
+
+``python -m repro bench-scale`` drives the paper-scale data path end to
+end — generate a sharded corpus (millions of rows, never materialised),
+stream the Section-3 merge over its shards, and write the resulting
+throughput/peak-RSS trajectory to ``BENCH_scale.json`` so later PRs can
+claim real scaling wins against recorded numbers:
+
+- **generate** — rows/sec through :class:`ShardedCorpusWriter` and the
+  phase's peak RSS (which stays O(catalogue + one shard), not O(corpus));
+- **merge_streaming** — rows/sec through
+  :func:`~repro.pipeline.streaming.merge_sharded_corpus` in out-of-core
+  mode (report + merged shards on disk, no in-memory readings table);
+- **merge_materialised** — the in-memory reference path on the same
+  corpus, measured when ``compare_materialised`` is on (the ``--quick``
+  smoke mode) so CI can assert the streaming path's RSS stays below it.
+
+Peak RSS comes from :mod:`repro.perf.rss`: per-phase ``VmHWM`` resets
+where the kernel allows them, with the monotone ``getrusage`` high-water
+mark as the recorded fallback (the report's ``rss`` section says which
+source produced the numbers).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.datasets.corpus import CorpusConfig, ShardedCorpus, ShardedCorpusWriter
+from repro.perf.rss import PhaseRss, measure_phase_rss
+from repro.perf.timer import Timer
+from repro.pipeline.merge import MergeConfig, build_merged_dataset
+from repro.pipeline.streaming import merge_sharded_corpus
+
+DEFAULT_OUTPUT = "BENCH_scale.json"
+
+#: The default corpus: >= 1 M events, the acceptance floor for this bench.
+DEFAULT_CORPUS = CorpusConfig(
+    n_books=2000,
+    n_authors=600,
+    n_bct_users=4000,
+    n_anobii_users=16000,
+    n_loans=600_000,
+    n_ratings=450_000,
+    n_shards=8,
+)
+
+#: The --quick smoke corpus: same shape, ~40 k rows, runs in seconds.
+QUICK_CORPUS = CorpusConfig(
+    n_books=400,
+    n_authors=150,
+    n_bct_users=300,
+    n_anobii_users=1200,
+    n_loans=24_000,
+    n_ratings=18_000,
+    n_shards=4,
+    rows_per_chunk=4096,
+)
+
+
+@dataclass(frozen=True)
+class ScaleBenchConfig:
+    """Corpus shape + merge floors for the scale bench."""
+
+    corpus: CorpusConfig = field(default_factory=lambda: DEFAULT_CORPUS)
+    merge: MergeConfig = field(default_factory=MergeConfig)
+    compare_materialised: bool = False
+    """Also run the in-memory reference merge on the same corpus — only
+    sensible at smoke scale, where the corpus fits in memory."""
+
+    @classmethod
+    def quick(cls) -> "ScaleBenchConfig":
+        """The ``--quick`` smoke configuration (CI's bench-scale job)."""
+        return cls(corpus=QUICK_CORPUS, compare_materialised=True)
+
+
+def _phase_section(rows: int, seconds: float, rss: PhaseRss) -> dict[str, Any]:
+    return {
+        "rows": rows,
+        "seconds": seconds,
+        "rows_per_second": rows / seconds if seconds > 0 else 0.0,
+        "peak_rss_bytes": rss.peak_bytes,
+        "rss_delta_bytes": rss.delta_bytes,
+    }
+
+
+def run_scale_bench(
+    config: ScaleBenchConfig | None = None,
+    output_path: str | Path | None = DEFAULT_OUTPUT,
+    workdir: str | Path | None = None,
+) -> dict[str, Any]:
+    """Run the scale bench and (optionally) write ``BENCH_scale.json``.
+
+    ``workdir`` hosts the corpus and merged-output directories (a
+    temporary directory, cleaned afterwards, when omitted). The streaming
+    merge is measured *before* the materialised reference so that even
+    under the monotone-RSS fallback the recorded streaming peak can never
+    be inflated by the materialised run.
+    """
+    config = config or ScaleBenchConfig()
+    total_rows = config.corpus.n_loans + config.corpus.n_ratings
+
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-scale-") as tmp:
+            return run_scale_bench(config, output_path, workdir=tmp)
+
+    workdir = Path(workdir)
+    corpus_dir = workdir / "corpus"
+
+    with Timer() as generate_timer:
+        corpus, generate_rss = measure_phase_rss(
+            lambda: ShardedCorpusWriter(corpus_dir, config.corpus).write()
+        )
+
+    with Timer() as stream_timer:
+        streaming, stream_rss = measure_phase_rss(
+            lambda: merge_sharded_corpus(
+                corpus,
+                config.merge,
+                materialise=False,
+                output_dir=workdir / "merged",
+            )
+        )
+
+    materialised_section = None
+    if config.compare_materialised:
+        def _materialised():
+            bct, anobii = corpus.materialise()
+            return build_merged_dataset(bct, anobii, config.merge)
+
+        with Timer() as mat_timer:
+            (_, mat_report), mat_rss = measure_phase_rss(_materialised)
+        materialised_section = _phase_section(
+            total_rows, mat_timer.seconds, mat_rss
+        )
+        materialised_section["readings_out"] = mat_report.readings_after_filter
+
+    streaming_section = _phase_section(total_rows, stream_timer.seconds, stream_rss)
+    streaming_section["readings_out"] = streaming.report.readings_after_filter
+
+    report: dict[str, Any] = {
+        "bench": "scale",
+        "config": {
+            "corpus": asdict(config.corpus),
+            "merge": asdict(config.merge),
+            "compare_materialised": config.compare_materialised,
+        },
+        "corpus": {
+            "loan_shards": int(corpus.meta["loan_shards"]),
+            "rating_shards": int(corpus.meta["rating_shards"]),
+            "largest_shard_bytes": corpus.largest_shard_bytes(),
+        },
+        "generate": _phase_section(total_rows, generate_timer.seconds, generate_rss),
+        "merge_streaming": streaming_section,
+        "merge_materialised": materialised_section,
+        "rss": {
+            "source": stream_rss.source,
+            "reset_supported": stream_rss.reset_supported,
+        },
+    }
+    if output_path is not None:
+        output_path = Path(output_path)
+        output_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        report["output_path"] = str(output_path)
+    return report
+
+
+def render_scale_report(report: dict[str, Any]) -> str:
+    """Human-readable summary of a scale-bench report for the CLI."""
+    lines = ["scale bench (out-of-core corpus + streaming merge)"]
+    corpus = report["corpus"]
+    lines.append(
+        f"  corpus: {report['generate']['rows']} rows in "
+        f"{corpus['loan_shards']}+{corpus['rating_shards']} shards "
+        f"(largest {corpus['largest_shard_bytes'] / 1e6:.1f} MB)"
+    )
+    for name in ("generate", "merge_streaming", "merge_materialised"):
+        section = report.get(name)
+        if not section:
+            continue
+        lines.append(
+            f"  {name}: {section['rows_per_second']:,.0f} rows/s "
+            f"({section['seconds']:.2f} s, peak RSS "
+            f"{section['peak_rss_bytes'] / 1e6:.0f} MB)"
+        )
+    rss = report["rss"]
+    lines.append(
+        f"  rss source: {rss['source']}"
+        + ("" if rss["reset_supported"] else " (monotone fallback)")
+    )
+    if "output_path" in report:
+        lines.append(f"  report: {report['output_path']}")
+    return "\n".join(lines)

@@ -13,6 +13,11 @@ Order of operations, as in the paper:
    activity filters (users >= 10 readings, books above the popularity
    floor), and emit a validated :class:`repro.datasets.MergedDataset`.
 4. :mod:`repro.pipeline.stats` — dataset characterisation used by Figs 1-2.
+
+:mod:`repro.pipeline.streaming` runs the same merge out-of-core over a
+sharded corpus (:func:`~repro.pipeline.streaming.merge_sharded_corpus`),
+producing a bit-identical dataset and report without ever materialising
+the full event stream.
 """
 
 from repro.pipeline.cleaning import (
@@ -25,6 +30,11 @@ from repro.pipeline.cleaning import (
 )
 from repro.pipeline.genres import GenreModel, build_genre_model
 from repro.pipeline.merge import MergeConfig, MergeReport, build_merged_dataset
+from repro.pipeline.streaming import (
+    StreamingMergeResult,
+    load_merged_corpus,
+    merge_sharded_corpus,
+)
 from repro.pipeline import stats
 
 __all__ = [
@@ -39,5 +49,8 @@ __all__ = [
     "MergeConfig",
     "MergeReport",
     "build_merged_dataset",
+    "StreamingMergeResult",
+    "load_merged_corpus",
+    "merge_sharded_corpus",
     "stats",
 ]

@@ -15,7 +15,6 @@ and Anobii datasets").
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -381,31 +380,34 @@ def _apply_activity_filters(readings: Table, config: MergeConfig) -> Table:
 
     Per the paper, both floors are evaluated on the unfiltered counts and
     applied in one pass; set ``iterate_activity_filter`` to re-apply until a
-    fixpoint (stricter than the paper).
+    fixpoint (stricter than the paper). Counting is fully vectorised
+    (``np.unique`` factorisation + ``bincount``) so the filter costs
+    O(n log n) array work, not a Python loop per event — the streaming
+    path (:mod:`repro.pipeline.streaming`) applies the same floors to its
+    pair accumulator without materialising the table at all.
     """
     while True:
-        user_books: dict[str, set[int]] = {}
-        book_events: Counter = Counter()
-        users = readings["user_id"]
-        books = readings["book_id"]
-        for user_id, book_id in zip(users, books):
-            user_books.setdefault(str(user_id), set()).add(int(book_id))
-            book_events[int(book_id)] += 1
-        keep_users = {
-            u for u, read in user_books.items()
-            if len(read) >= config.min_user_readings
-        }
-        keep_books = {
-            b for b, events in book_events.items()
-            if events >= config.min_book_readings
-        }
-        mask = np.asarray(
-            [
-                str(u) in keep_users and int(b) in keep_books
-                for u, b in zip(users, books)
-            ],
-            dtype=bool,
+        if not readings.num_rows:
+            return readings
+        unique_users, user_codes = np.unique(
+            readings["user_id"], return_inverse=True
         )
+        unique_books, book_codes = np.unique(
+            readings["book_id"], return_inverse=True
+        )
+        n_books = len(unique_books)
+        # Distinct (user, book) pairs give per-user distinct-book degrees;
+        # raw book codes give per-book event counts (with multiplicity).
+        pair_codes = np.unique(
+            user_codes.astype(np.int64) * n_books + book_codes
+        )
+        user_degree = np.bincount(
+            pair_codes // n_books, minlength=len(unique_users)
+        )
+        book_events = np.bincount(book_codes, minlength=n_books)
+        keep_users = user_degree >= config.min_user_readings
+        keep_books = book_events >= config.min_book_readings
+        mask = keep_users[user_codes] & keep_books[book_codes]
         if mask.all():
             return readings
         readings = readings.filter(mask)

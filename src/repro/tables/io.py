@@ -1,4 +1,4 @@
-"""CSV and JSONL round-trips for :class:`repro.tables.Table`.
+"""CSV, JSONL and columnar npz round-trips for :class:`repro.tables.Table`.
 
 Both formats store a typed header so a table reloads with its exact schema:
 CSV uses a ``name:dtype`` header convention, JSONL writes a leading schema
@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import csv
 import json
+import zipfile
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -122,6 +124,48 @@ def read_jsonl(path: str | Path) -> Table:
         for column in schema
     }
     return Table(schema, columns)
+
+
+def write_npz_columns(path: str | Path, columns: dict[str, np.ndarray]) -> None:
+    """Write named columnar arrays to ``path`` as an uncompressed ``.npz``.
+
+    The shard format used by the out-of-core corpus: numeric, boolean,
+    datetime and fixed-width unicode arrays only — ``object`` columns are
+    rejected so the files never require ``allow_pickle`` to load. The write
+    is crash-safe (temp file + fsync + rename via :func:`atomic_write`).
+    """
+    path = Path(path)
+    for name, array in columns.items():
+        if array.dtype == object:
+            raise TableIOError(
+                f"column {name!r} has dtype=object; npz shards hold only "
+                "numeric/unicode arrays (no pickle)"
+            )
+    try:
+        with atomic_write(path, "wb") as handle:
+            np.savez(handle, **columns)
+    except OSError as exc:
+        raise TableIOError(f"cannot write npz to {path}: {exc}") from exc
+
+
+def read_npz_columns(
+    path: str | Path, names: Sequence[str] | None = None
+) -> dict[str, np.ndarray]:
+    """Read the column arrays previously written by :func:`write_npz_columns`.
+
+    ``names`` selects a subset of columns; the npz container is lazy, so
+    unselected columns are never decompressed into memory — the streaming
+    merge's second pass reads only the columns it emits.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            keys = data.files if names is None else list(names)
+            return {name: data[name] for name in keys}
+    except KeyError as exc:
+        raise TableIOError(f"{path} has no column {exc}") from exc
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise TableIOError(f"cannot read npz from {path}: {exc}") from exc
 
 
 def _parse_header(header: list[str], path: Path) -> Schema:

@@ -1,0 +1,229 @@
+"""Property-based invariants of the sharded synthetic corpus.
+
+Randomized (seed, n_rows, n_shards) draws pin the contracts the
+out-of-core generator must hold at any scale:
+
+- popularity stays Zipf-shaped (a thin head of books absorbs a
+  disproportionate share of events);
+- every event's foreign keys resolve into the catalogue and the user id
+  space;
+- loan/rating ids are globally unique and strictly increasing across the
+  shard sequence;
+- the corpus is *shard-count invariant*: ``n_shards=1`` and
+  ``n_shards=k`` concatenate to row-identical streams (already in
+  generation order, so a stable sort by primary key is a no-op).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.corpus import (
+    CorpusConfig,
+    ShardedCorpusWriter,
+    build_corpus_model,
+    chunk_bounds,
+    generate_loan_shards,
+    generate_rating_shards,
+    shard_plan,
+)
+from repro.datasets.synthetic import ANOBII_ID_BASE, BCT_ID_BASE
+
+# Each draw builds a corpus model (catalogue + distributions), so keep
+# example counts small; the model is O(books), not O(events).
+PROPERTY_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+corpus_configs = st.builds(
+    CorpusConfig,
+    n_books=st.just(120),
+    n_authors=st.just(40),
+    n_bct_users=st.integers(min_value=20, max_value=60),
+    n_anobii_users=st.integers(min_value=40, max_value=120),
+    n_loans=st.integers(min_value=0, max_value=3000),
+    n_ratings=st.integers(min_value=0, max_value=2500),
+    n_shards=st.integers(min_value=1, max_value=6),
+    rows_per_chunk=st.sampled_from([128, 257, 1024]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+def _concat_shards(shard_iter, columns):
+    shards = list(shard_iter)
+    if not shards:
+        return {name: np.empty(0) for name in columns}
+    return {
+        name: np.concatenate([shard[name] for shard in shards])
+        for name in columns
+    }
+
+
+@PROPERTY_SETTINGS
+@given(config=corpus_configs)
+def test_chunk_plan_partitions_rows(config):
+    """Chunks tile [0, n_rows) exactly; shards are contiguous chunk runs."""
+    for n_rows in (config.n_loans, config.n_ratings):
+        bounds = chunk_bounds(n_rows, config.rows_per_chunk)
+        assert sum(stop - start for start, stop in bounds) == n_rows
+        cursor = 0
+        for start, stop in bounds:
+            assert start == cursor and stop > start
+            cursor = stop
+        plan = shard_plan(n_rows, config.rows_per_chunk, config.n_shards)
+        assert [c for shard in plan for c in shard] == bounds
+
+
+@PROPERTY_SETTINGS
+@given(config=corpus_configs)
+def test_event_foreign_keys_resolve(config):
+    """Every generated event points at a real catalogue row and user slot."""
+    model = build_corpus_model(config)
+    bct_book_ids = set(model.books["book_id"].tolist())
+    anobii_item_ids = set(model.items["item_id"].tolist())
+
+    loans = _concat_shards(
+        generate_loan_shards(model), ("loan_id", "user", "book_id", "duration")
+    )
+    assert set(np.unique(loans["book_id"]).tolist()) <= bct_book_ids
+    if config.n_loans:
+        assert loans["user"].min() >= 0
+        assert loans["user"].max() < config.n_bct_users
+        assert loans["duration"].min() >= 1
+
+    ratings = _concat_shards(
+        generate_rating_shards(model), ("rating_id", "user", "item_id", "rating")
+    )
+    assert set(np.unique(ratings["item_id"]).tolist()) <= anobii_item_ids
+    if config.n_ratings:
+        assert ratings["user"].min() >= 0
+        assert ratings["user"].max() < config.n_anobii_users
+        assert ratings["rating"].min() >= 1
+        assert ratings["rating"].max() <= 5
+
+
+@PROPERTY_SETTINGS
+@given(config=corpus_configs)
+def test_event_ids_unique_and_increasing_across_shards(config):
+    """Primary keys never collide across shards: each stream is 0..n-1."""
+    model = build_corpus_model(config)
+    loan_ids = _concat_shards(generate_loan_shards(model), ("loan_id",))["loan_id"]
+    rating_ids = _concat_shards(generate_rating_shards(model), ("rating_id",))[
+        "rating_id"
+    ]
+    assert np.array_equal(loan_ids, np.arange(config.n_loans, dtype=np.int64))
+    assert np.array_equal(
+        rating_ids, np.arange(config.n_ratings, dtype=np.int64)
+    )
+
+
+@PROPERTY_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_shards=st.integers(min_value=2, max_value=7),
+)
+def test_shard_count_invariance(seed, n_shards):
+    """n_shards=1 and n_shards=k produce row-identical corpora.
+
+    Generation order *is* primary-key order (ids are assigned by global
+    row position), so after a stable sort by id — a no-op permutation —
+    the two corpora must match column-for-column.
+    """
+    config = CorpusConfig(
+        n_books=120,
+        n_authors=40,
+        n_bct_users=40,
+        n_anobii_users=80,
+        n_loans=2200,
+        n_ratings=1700,
+        rows_per_chunk=256,
+        seed=seed,
+    )
+    model = build_corpus_model(config)
+    for generate, key in (
+        (generate_loan_shards, "loan_id"),
+        (generate_rating_shards, "rating_id"),
+    ):
+        single = list(generate(model, 1))
+        sharded = list(generate(model, n_shards))
+        assert len(single) == 1
+        assert 1 <= len(sharded) <= n_shards
+        for name in single[0]:
+            flat = np.concatenate([shard[name] for shard in sharded])
+            # Stable sort by primary key; ids are already in order, so
+            # this must not move anything — assert that too.
+            order = np.argsort(
+                np.concatenate([shard[key] for shard in sharded]), kind="stable"
+            )
+            assert np.array_equal(order, np.arange(len(flat)))
+            assert np.array_equal(single[0][name], flat)
+
+
+@PROPERTY_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_popularity_is_zipf_shaped(seed):
+    """The busiest decile of borrowed books absorbs >= 20% of all loans."""
+    config = CorpusConfig(
+        n_books=200,
+        n_authors=60,
+        n_bct_users=60,
+        n_anobii_users=60,
+        n_loans=6000,
+        n_ratings=0,
+        rows_per_chunk=1024,
+        seed=seed,
+    )
+    model = build_corpus_model(config)
+    loans = _concat_shards(generate_loan_shards(model), ("book_id",))
+    counts = np.sort(np.bincount(loans["book_id"] - BCT_ID_BASE))[::-1]
+    distinct = int((counts > 0).sum())
+    head = max(distinct // 10, 1)
+    head_share = counts[:head].sum() / counts.sum()
+    assert head_share >= 0.2
+    # And the head is genuinely heavier than a uniform split would be.
+    assert head_share > head / distinct
+
+
+def test_disk_roundtrip_is_deterministic(tmp_path):
+    """Writing the same config twice yields byte-identical shard files."""
+    config = CorpusConfig(
+        n_books=100,
+        n_authors=30,
+        n_bct_users=30,
+        n_anobii_users=60,
+        n_loans=1500,
+        n_ratings=1200,
+        n_shards=3,
+        rows_per_chunk=256,
+    )
+    first = ShardedCorpusWriter(tmp_path / "a", config).write()
+    second = ShardedCorpusWriter(tmp_path / "b", config).write()
+    paths = ["books.npz", "items.npz"] + [
+        p.name for p in first.loan_shard_paths + first.rating_shard_paths
+    ]
+    for name in paths:
+        assert (tmp_path / "a" / name).read_bytes() == (
+            tmp_path / "b" / name
+        ).read_bytes()
+    assert first.verify()["corpus"] == second.verify()["corpus"]
+
+
+def test_anobii_item_ids_use_their_own_id_space():
+    """Loan and rating streams draw from disjoint external id ranges."""
+    config = CorpusConfig(
+        n_books=100,
+        n_authors=30,
+        n_bct_users=20,
+        n_anobii_users=40,
+        n_loans=500,
+        n_ratings=500,
+        rows_per_chunk=256,
+    )
+    model = build_corpus_model(config)
+    loans = _concat_shards(generate_loan_shards(model), ("book_id",))
+    ratings = _concat_shards(generate_rating_shards(model), ("item_id",))
+    assert loans["book_id"].min() >= BCT_ID_BASE
+    assert loans["book_id"].max() < ANOBII_ID_BASE
+    assert ratings["item_id"].min() >= ANOBII_ID_BASE

@@ -1,0 +1,163 @@
+"""Streaming merge == in-memory merge, bit for bit.
+
+The out-of-core path (:func:`repro.pipeline.streaming.merge_sharded_corpus`)
+promises the *same* merged dataset and the *same* :class:`MergeReport` as
+``build_merged_dataset`` over the materialised corpus — the only allowed
+difference is peak memory. These tests pin that promise on a small sharded
+corpus, at ``n_jobs`` 1 and 2, across config variants, and through the
+npz round-trip of the out-of-core output mode; the RSS regression at the
+bottom caps the streaming path's memory appetite against the shard size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corpus import CorpusConfig, ShardedCorpusWriter
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.rss import measure_phase_rss, reset_peak_rss
+from repro.pipeline.merge import MergeConfig, build_merged_dataset
+from repro.pipeline.streaming import load_merged_corpus, merge_sharded_corpus
+
+from tests.parallel.test_equivalence import _strip_timing_series
+
+CORPUS = CorpusConfig(
+    n_books=220,
+    n_authors=90,
+    n_bct_users=60,
+    n_anobii_users=150,
+    n_loans=4000,
+    n_ratings=3500,
+    n_shards=3,
+    rows_per_chunk=512,
+    seed=424243,
+)
+
+MERGE = MergeConfig(min_user_readings=5, min_book_readings=8)
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    root = tmp_path_factory.mktemp("sharded-corpus")
+    return ShardedCorpusWriter(root / "corpus", CORPUS).write()
+
+
+@pytest.fixture(scope="module")
+def reference(corpus):
+    bct, anobii = corpus.materialise()
+    return build_merged_dataset(bct, anobii, MERGE)
+
+
+def _assert_tables_identical(actual, expected):
+    assert actual.column_names == expected.column_names
+    assert actual.num_rows == expected.num_rows
+    for name in expected.column_names:
+        assert np.array_equal(actual[name], expected[name]), name
+
+
+def _assert_datasets_identical(actual, expected):
+    _assert_tables_identical(actual.books, expected.books)
+    _assert_tables_identical(actual.readings, expected.readings)
+    _assert_tables_identical(actual.genres, expected.genres)
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_dataset_and_report_identical(self, corpus, reference, n_jobs):
+        expected_merged, expected_report = reference
+        result = merge_sharded_corpus(
+            corpus, MERGE, n_jobs=n_jobs, backend="thread"
+        )
+        assert result.dataset is not None
+        _assert_datasets_identical(result.dataset, expected_merged)
+        assert result.report == expected_report
+        assert str(result.report) == str(expected_report)
+
+    def test_metrics_identical_up_to_timing(self, corpus):
+        bct, anobii = corpus.materialise()
+        in_memory = MetricsRegistry()
+        build_merged_dataset(bct, anobii, MERGE, metrics=in_memory)
+        streaming = MetricsRegistry()
+        merge_sharded_corpus(corpus, MERGE, metrics=streaming)
+        assert _strip_timing_series(streaming.snapshot()) == _strip_timing_series(
+            in_memory.snapshot()
+        )
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            MergeConfig(min_user_readings=5, min_book_readings=8,
+                        iterate_activity_filter=True),
+            MergeConfig(min_user_readings=5, min_book_readings=8,
+                        min_loan_days=7),
+            MergeConfig(min_user_readings=2, min_book_readings=2,
+                        min_rating=4),
+        ],
+    )
+    def test_config_variants_identical(self, corpus, variant):
+        bct, anobii = corpus.materialise()
+        expected_merged, expected_report = build_merged_dataset(
+            bct, anobii, variant
+        )
+        result = merge_sharded_corpus(corpus, variant)
+        _assert_datasets_identical(result.dataset, expected_merged)
+        assert result.report == expected_report
+
+
+class TestOutOfCoreOutput:
+    def test_roundtrip_matches_reference(self, corpus, reference, tmp_path):
+        expected_merged, expected_report = reference
+        result = merge_sharded_corpus(
+            corpus, MERGE, materialise=False, output_dir=tmp_path / "merged"
+        )
+        assert result.dataset is None
+        assert result.report == expected_report
+        loaded = load_merged_corpus(tmp_path / "merged")
+        _assert_datasets_identical(loaded, expected_merged)
+
+    def test_output_is_manifested(self, corpus, tmp_path):
+        from repro.resilience.artefacts import verify_manifest
+
+        merge_sharded_corpus(
+            corpus, MERGE, materialise=False, output_dir=tmp_path / "merged"
+        )
+        manifest = verify_manifest(tmp_path / "merged")
+        assert manifest["merged"]["readings"] > 0
+
+
+class TestStreamingRss:
+    def test_merge_rss_bounded_by_shard_size(self, tmp_path):
+        """Streaming a 1M-row merge costs < 4x the largest single shard.
+
+        The regression this pins: the streaming path must never quietly
+        materialise the corpus (the old ``from_pairs``/``Counter`` paths
+        were O(events) in Python objects). Peak attribution needs the
+        resettable ``VmHWM`` source — skip where the kernel refuses.
+        """
+        if not reset_peak_rss():
+            pytest.skip("per-phase VmHWM reset unsupported on this kernel")
+        config = CorpusConfig(
+            n_books=800,
+            n_authors=250,
+            n_bct_users=2000,
+            n_anobii_users=8000,
+            n_loans=600_000,
+            n_ratings=400_000,
+            n_shards=2,
+            seed=77,
+        )
+        corpus = ShardedCorpusWriter(tmp_path / "corpus", config).write()
+        largest = corpus.largest_shard_bytes()
+        assert largest > 1_000_000  # the budget unit is a real shard
+        _, rss = measure_phase_rss(
+            lambda: merge_sharded_corpus(
+                corpus,
+                MergeConfig(),
+                materialise=False,
+                output_dir=tmp_path / "merged",
+            )
+        )
+        assert rss.source == "vmhwm"
+        assert rss.delta_bytes < 4 * largest, (
+            f"streaming merge peak delta {rss.delta_bytes / 1e6:.1f} MB "
+            f"exceeds 4x largest shard ({largest / 1e6:.1f} MB)"
+        )

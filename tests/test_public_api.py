@@ -13,17 +13,20 @@ PUBLIC_API = {
     "repro": ["ReproError", "__version__"],
     "repro.tables": [
         "Table", "Schema", "Column", "concat_tables",
-        "read_csv", "write_csv", "read_jsonl", "write_jsonl", "ops",
+        "read_csv", "write_csv", "read_jsonl", "write_jsonl",
+        "read_npz_columns", "write_npz_columns", "ops",
     ],
     "repro.datasets": [
         "WorldConfig", "LatentWorld", "generate_sources",
         "BCTDataset", "AnobiiDataset", "MergedDataset",
+        "CorpusConfig", "ShardedCorpus", "ShardedCorpusWriter",
     ],
     "repro.pipeline": [
         "clean_bct", "clean_anobii", "build_genre_model", "GenreModel",
         "MergeConfig", "MergeReport", "build_merged_dataset", "stats",
         "QuarantineReport", "QuarantinedRow",
         "quarantine_bct", "quarantine_anobii",
+        "merge_sharded_corpus", "StreamingMergeResult", "load_merged_corpus",
     ],
     "repro.text": [
         "HashedTfidfEmbedder", "SentenceEmbedder", "TfidfModel",
