@@ -17,6 +17,12 @@ exits non-zero if any request errored.
 Usage::
 
     python scripts/loadgen.py [--threads 8] [--requests 2000] [--seed 0]
+    python scripts/loadgen.py --retrieval ivf --probe-cells 6 --zipf 1.1
+
+``--retrieval ivf`` serves through the approximate IVF tier (see
+``docs/serving.md``); ``--zipf S`` draws users from a seeded Zipf
+popularity distribution (p ∝ 1/rank^S) instead of uniformly, so the
+cache and shard residency see realistic head/tail skew.
 """
 
 from __future__ import annotations
@@ -49,7 +55,12 @@ from repro.pipeline.merge import build_merged_dataset  # noqa: E402
 COLD_START_EVERY = 10
 
 
-def build_service(seed: int, cache_size: int) -> RecommendationService:
+def build_service(
+    seed: int,
+    cache_size: int,
+    retrieval: str = "exact",
+    probe_cells: int | None = None,
+) -> RecommendationService:
     """Stand up a demo-world service (mirrors ``repro.obs.demo``)."""
     world = WorldConfig(
         n_books=DEMO_WORLD.n_books,
@@ -70,6 +81,8 @@ def build_service(seed: int, cache_size: int) -> RecommendationService:
         cold_start_fallback=most_read,
         cache_size=cache_size,
         degrade_unknown_users=True,
+        retrieval=retrieval,
+        probe_cells=probe_cells,
     )
 
 
@@ -79,15 +92,26 @@ def run_load(
     requests: int,
     k: int,
     seed: int,
+    zipf: float | None = None,
 ) -> dict:
     """Fire ``requests`` requests from ``threads`` threads; return a report.
 
     Each worker thread gets its own seeded RNG (``seed + thread index``)
     and an equal share of the request budget, so a run is reproducible
     up to scheduling order — which is exactly the order the shared
-    accounting must be indifferent to.
+    accounting must be indifferent to. With ``zipf`` set, user draws
+    follow a Zipf popularity law over a seeded rank permutation
+    (p ∝ 1/rank^zipf) instead of the uniform default.
     """
     users = [str(user) for user in service.train.users.ids]
+    cum_weights: list[float] | None = None
+    if zipf is not None:
+        random.Random(seed).shuffle(users)
+        total = 0.0
+        cum_weights = []
+        for rank in range(1, len(users) + 1):
+            total += 1.0 / rank ** zipf
+            cum_weights.append(total)
     per_thread = [requests // threads] * threads
     for index in range(requests % threads):
         per_thread[index] += 1
@@ -99,6 +123,8 @@ def run_load(
         for shot in range(budget):
             if shot % COLD_START_EVERY == COLD_START_EVERY - 1:
                 user_id = f"cold-start-{thread_index}-{shot}"
+            elif cum_weights is not None:
+                user_id = rng.choices(users, cum_weights=cum_weights)[0]
             else:
                 user_id = rng.choice(users)
             try:
@@ -147,6 +173,7 @@ def run_load(
         "threads": threads,
         "requests": requests,
         "k": k,
+        "zipf": zipf,
         "seconds": round(elapsed, 4),
         "throughput_rps": round(requests / elapsed, 1) if elapsed else None,
         "latency": {
@@ -174,17 +201,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--k", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--cache-size", type=int, default=256)
+    parser.add_argument("--retrieval", choices=("exact", "ivf"),
+                        default="exact",
+                        help="serving retrieval tier (see docs/serving.md)")
+    parser.add_argument("--probe-cells", type=int, default=None,
+                        help="IVF probe width (default: half the cells)")
+    parser.add_argument("--zipf", type=float, default=None, metavar="S",
+                        help="draw users Zipf-distributed with exponent S "
+                        "instead of uniformly")
     args = parser.parse_args(argv)
     if args.threads < 1 or args.requests < 1:
         parser.error("--threads and --requests must be >= 1")
+    if args.zipf is not None and args.zipf <= 0:
+        parser.error("--zipf must be > 0")
 
     print(f"building demo-world service (seed={args.seed}) ...", flush=True)
-    service = build_service(args.seed, args.cache_size)
+    service = build_service(
+        args.seed, args.cache_size,
+        retrieval=args.retrieval, probe_cells=args.probe_cells,
+    )
     print(
         f"firing {args.requests} requests from {args.threads} threads ...",
         flush=True,
     )
-    report = run_load(service, args.threads, args.requests, args.k, args.seed)
+    report = run_load(
+        service, args.threads, args.requests, args.k, args.seed,
+        zipf=args.zipf,
+    )
     print(json.dumps(report, indent=2))
     if report["audit_failures"]:
         print("ACCOUNTING AUDIT FAILED:", *report["audit_failures"],

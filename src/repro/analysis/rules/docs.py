@@ -36,6 +36,7 @@ CHECKED_PACKAGES = (
     "repro/obs",
     "repro/resilience",
     "repro/analysis",
+    "repro/retrieval",
 )
 
 #: ``[text](target)`` — target captured lazily so nested parens in text

@@ -6,7 +6,7 @@ The repo's architecture is a strict layering (low to high)::
     util         obs, resilience, parallel
     tables       tables
     data         datasets, text, pipeline
-    core         core
+    core         core, retrieval
     eval         eval
     experiments  experiments
     app          app
@@ -94,7 +94,7 @@ DEFAULT_SPEC = LayerSpec(
         ("util", ("obs", "resilience", "parallel")),
         ("tables", ("tables",)),
         ("data", ("datasets", "text", "pipeline")),
-        ("core", ("core",)),
+        ("core", ("core", "retrieval")),
         ("eval", ("eval",)),
         ("experiments", ("experiments",)),
         ("app", ("app",)),

@@ -39,6 +39,9 @@ Commands:
 - ``bench-scale`` — run the out-of-core scale bench (sharded corpus
   generation + streaming merge, rows/sec and peak RSS per phase) and
   write ``BENCH_scale.json``.
+- ``bench-serve`` — run the serving retrieval bench (exact-tier
+  equivalence, recall@k-vs-latency across IVF probe widths, Zipf
+  replay through the shard store) and write ``BENCH_serve.json``.
 - ``check [paths]`` — run the static analyzer (determinism, layering,
   lock discipline, exception hygiene, docs integrity) over the given
   paths (default ``src``); exits 1 when findings survive suppression.
@@ -48,7 +51,10 @@ grid search across N worker processes; results are bit-identical to
 ``--jobs 1`` (see ``docs/determinism.md``). The global
 ``--train-kernel``/``--train-workers`` flags select the BPR training
 tier (``reference`` is bit-stable; ``fast``, optionally with workers,
-trades bit-identity for throughput — see ``docs/determinism.md``).
+trades bit-identity for throughput — see ``docs/determinism.md``). The
+global ``--retrieval``/``--probe-cells`` flags select the serving
+retrieval tier for ``serve-demo`` (``exact`` is bit-stable; ``ivf``
+probes ``--probe-cells`` k-means cells — see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -76,6 +82,7 @@ commands:
   bench-parallel      serial-vs-parallel bench -> BENCH_parallel.json
   bench-train         BPR training-tier bench -> BENCH_train.json
   bench-scale         out-of-core corpus + streaming-merge bench -> BENCH_scale.json
+  bench-serve         serving retrieval bench (recall@k vs latency) -> BENCH_serve.json
   corpus <dir>        generate a sharded synthetic corpus (npz shards + manifests)
   health <path>       verify artefact checksum manifests (exit 1 = corrupt)
   lifecycle <action> <store>
@@ -121,6 +128,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="HogWild worker processes for BPR training (requires "
         "--train-kernel fast; -1 = all CPUs; see docs/determinism.md for "
         "the relaxed convergence contract)",
+    )
+    parser.add_argument(
+        "--retrieval", choices=("exact", "ivf"), default=None,
+        help="serving retrieval tier for serve-demo: 'exact' (full "
+        "catalogue, bit-stable default) or 'ivf' (probe k-means cells and "
+        "re-rank exactly; see docs/serving.md)",
+    )
+    parser.add_argument(
+        "--probe-cells", type=int, default=None, metavar="N",
+        help="IVF probe width for --retrieval ivf (default: half the "
+        "cells; >= the cell count serves exactly, bit for bit)",
     )
     parser.add_argument(
         "--output", default=None, metavar="DIR",
@@ -202,6 +220,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="small corpus for smoke runs; also measures the in-memory "
         "reference merge for the RSS comparison",
+    )
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="run the serving retrieval bench and write JSON",
+    )
+    bench_serve.add_argument(
+        "--bench-output", default=None, metavar="PATH",
+        help="where to write the bench JSON (default: BENCH_serve.json)",
+    )
+    bench_serve.add_argument(
+        "--quick", action="store_true",
+        help="small catalogue for smoke runs (not representative)",
     )
 
     corpus = sub.add_parser(
@@ -333,6 +364,8 @@ def main(argv: list[str] | None = None) -> int:
         return _bench_train(args)
     if args.command == "bench-scale":
         return _bench_scale(args)
+    if args.command == "bench-serve":
+        return _bench_serve(args)
     if args.command == "corpus":
         return _corpus(args)
     if args.command == "check":
@@ -360,7 +393,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "generate":
         _generate(context, args.directory)
     elif args.command == "serve-demo":
-        _serve_demo(context)
+        _serve_demo(context, args)
     elif args.command == "bench":
         _bench(args)
     return 0
@@ -398,19 +431,34 @@ def _generate(context: ExperimentContext, directory: str) -> None:
     )
 
 
-def _serve_demo(context: ExperimentContext) -> None:
+def _serve_demo(
+    context: ExperimentContext, args: "argparse.Namespace | None" = None
+) -> None:
     from repro.app.service import RecommendationRequest, RecommendationService
 
+    service_kwargs = {}
+    if args is not None and args.retrieval is not None:
+        service_kwargs["retrieval"] = args.retrieval
+    if args is not None and args.probe_cells is not None:
+        service_kwargs["probe_cells"] = args.probe_cells
     model = context.model("bpr")
-    service = RecommendationService(model, context.split.train, context.merged)
+    service = RecommendationService(
+        model, context.split.train, context.merged, **service_kwargs
+    )
     users = context.merged.bct_user_ids[:3]
     for user_id in users:
         books = service.recommend(RecommendationRequest(user_id=user_id, k=5))
         print(f"user {user_id}:")
         for book in books:
             print(f"  {book.rank:2d}. {book.title} — {book.author}")
+    retrieval = service.health()["retrieval"]
+    tier = retrieval["active"]
+    if tier == "ivf":
+        tier += (
+            f" ({retrieval['probe_cells']}/{retrieval['cells']} cells probed)"
+        )
     print(
-        f"served {service.stats.requests} requests, "
+        f"served {service.stats.requests} requests via {tier} retrieval, "
         f"mean latency {service.stats.mean_seconds * 1000:.1f} ms"
     )
 
@@ -713,6 +761,22 @@ def _bench_scale(args: argparse.Namespace) -> int:
         config, output_path=args.bench_output or DEFAULT_OUTPUT
     )
     print(render_scale_report(report))
+    return 0
+
+
+def _bench_serve(args: argparse.Namespace) -> int:
+    from repro.perf.servebench import (
+        DEFAULT_OUTPUT,
+        ServeBenchConfig,
+        render_serve_report,
+        run_serve_bench,
+    )
+
+    config = ServeBenchConfig.quick() if args.quick else ServeBenchConfig()
+    report = run_serve_bench(
+        config, output_path=args.bench_output or DEFAULT_OUTPUT
+    )
+    print(render_serve_report(report))
     return 0
 
 

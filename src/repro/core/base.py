@@ -90,24 +90,16 @@ class Recommender(abc.ABC):
         """Scores with already-read items masked out (if the model excludes
         them).
 
-        The mask is applied as a single CSR-driven scatter: the chunk's
-        (row, item) pairs are materialised directly from the training
-        matrix's ``indptr``/``indices`` arrays and written with one
-        fancy-index assignment, avoiding any per-user Python loop.
+        The mask is applied as a single CSR-driven scatter
+        (:func:`mask_seen_rows`): the chunk's (row, item) pairs are
+        materialised directly from the training matrix's
+        ``indptr``/``indices`` arrays and written with one fancy-index
+        assignment, avoiding any per-user Python loop.
         """
         user_indices = np.asarray(user_indices, dtype=np.int64)
         scores = self.score_users(user_indices)
         if self.exclude_seen and len(user_indices):
-            csr = self.train.csr
-            starts = csr.indptr[user_indices]
-            counts = csr.indptr[user_indices + 1] - starts
-            total = int(counts.sum())
-            if total:
-                rows = np.repeat(np.arange(len(user_indices)), counts)
-                ends = np.cumsum(counts)
-                within = np.arange(total) - np.repeat(ends - counts, counts)
-                cols = csr.indices[np.repeat(starts, counts) + within]
-                scores[rows, cols] = EXCLUDED_SCORE
+            mask_seen_rows(scores, self.train.csr, user_indices)
         return scores
 
     def masked_scores_reference(self, user_indices: np.ndarray) -> np.ndarray:
@@ -150,29 +142,18 @@ class Recommender(abc.ABC):
     ) -> list[np.ndarray]:
         """:meth:`recommend` for many users in one scoring pass.
 
-        The top-k cut runs a single ``argpartition`` over the whole chunk
-        (axis 1) followed by one vectorised stable sort of the k selected
-        columns, instead of per-row partition/sort calls. Returns one array
-        per user (lengths may differ near catalogue exhaustion, so the
-        result is a list rather than a matrix); rankings are identical to
-        calling :meth:`recommend` per user.
+        The top-k cut (:func:`top_k_rows`) runs a single ``argpartition``
+        over the whole chunk (axis 1) followed by one vectorised stable
+        sort of the k selected columns, instead of per-row partition/sort
+        calls. Returns one array per user (lengths may differ near
+        catalogue exhaustion, so the result is a list rather than a
+        matrix); rankings are identical to calling :meth:`recommend` per
+        user.
         """
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         user_indices = np.asarray(user_indices, dtype=np.int64)
-        scores = self.masked_scores(user_indices)
-        if scores.shape[0] == 0:
-            return []
-        kth = min(k, scores.shape[1])
-        partition = np.argpartition(-scores, kth=kth - 1, axis=1)[:, :kth]
-        part_scores = np.take_along_axis(scores, partition, axis=1)
-        order = np.argsort(-part_scores, axis=1, kind="stable")
-        top = np.take_along_axis(partition, order, axis=1)
-        top_scores = np.take_along_axis(part_scores, order, axis=1)
-        return [
-            items[row_scores > EXCLUDED_SCORE]
-            for items, row_scores in zip(top, top_scores)
-        ]
+        return top_k_rows(self.masked_scores(user_indices), k)
 
     def recommend_batch_reference(
         self, user_indices: np.ndarray, k: int
@@ -189,3 +170,49 @@ def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
     partition = np.argpartition(-scores, kth=k - 1)[:k]
     ordered = partition[np.argsort(-scores[partition], kind="stable")]
     return ordered[scores[ordered] > EXCLUDED_SCORE]
+
+
+def mask_seen_rows(
+    scores: np.ndarray, csr, user_indices: np.ndarray
+) -> np.ndarray:
+    """Scatter :data:`EXCLUDED_SCORE` over each row's seen items, in place.
+
+    ``csr`` is the training interaction matrix's CSR form; row ``r`` of
+    ``scores`` belongs to ``user_indices[r]``. This is the shared masking
+    kernel behind :meth:`Recommender.masked_scores` and the serving
+    layer's shard-coalesced scoring — one implementation, so the two
+    paths cannot drift apart. Returns ``scores`` for chaining.
+    """
+    starts = csr.indptr[user_indices]
+    counts = csr.indptr[user_indices + 1] - starts
+    total = int(counts.sum())
+    if total:
+        rows = np.repeat(np.arange(len(user_indices)), counts)
+        ends = np.cumsum(counts)
+        within = np.arange(total) - np.repeat(ends - counts, counts)
+        cols = csr.indices[np.repeat(starts, counts) + within]
+        scores[rows, cols] = EXCLUDED_SCORE
+    return scores
+
+
+def top_k_rows(scores: np.ndarray, k: int) -> list[np.ndarray]:
+    """Batched top-k cut over a ``(rows, n_items)`` score matrix.
+
+    One ``argpartition`` over the chunk, one vectorised stable sort of
+    the selected columns; rows with fewer than ``k`` unmasked items come
+    back short. The shared cut kernel behind
+    :meth:`Recommender.recommend_batch` and the serving layer's
+    coalesced batch scoring.
+    """
+    if scores.shape[0] == 0:
+        return []
+    kth = min(k, scores.shape[1])
+    partition = np.argpartition(-scores, kth=kth - 1, axis=1)[:, :kth]
+    part_scores = np.take_along_axis(scores, partition, axis=1)
+    order = np.argsort(-part_scores, axis=1, kind="stable")
+    top = np.take_along_axis(partition, order, axis=1)
+    top_scores = np.take_along_axis(part_scores, order, axis=1)
+    return [
+        items[row_scores > EXCLUDED_SCORE]
+        for items, row_scores in zip(top, top_scores)
+    ]

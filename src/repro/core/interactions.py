@@ -37,7 +37,8 @@ class Indexer:
     @staticmethod
     def _as_flat_array(values: Sequence[Hashable]) -> np.ndarray | None:
         """A sortable 1-D array view of ``values``, or None if numpy would
-        mangle them (e.g. tuples becoming a 2-D array)."""
+        mangle them (e.g. tuples becoming a 2-D array, or fixed-width
+        strings truncating trailing NULs so distinct ids collide)."""
         if not values:
             return None
         try:
@@ -45,6 +46,8 @@ class Indexer:
         except (TypeError, ValueError):
             return None
         if array.ndim != 1 or len(array) != len(values):
+            return None
+        if array.tolist() != list(values):
             return None
         return array
 

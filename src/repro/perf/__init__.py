@@ -11,7 +11,10 @@ implementation and writes the ``BENCH_fastpath.json`` trajectory file;
 ``BENCH_train.json`` trajectory file;
 :mod:`repro.perf.rss` attributes peak resident-set-size to individual
 phases; :mod:`repro.perf.scalebench` measures the out-of-core data path
-(sharded generation + streaming merge) and writes ``BENCH_scale.json``.
+(sharded generation + streaming merge) and writes ``BENCH_scale.json``;
+:mod:`repro.perf.servebench` measures the serving retrieval tiers
+(recall@k-vs-latency frontier, exact-tier equivalence, Zipf replay) and
+writes ``BENCH_serve.json``.
 """
 
 from repro.perf.timer import Timer, TimingResult, best_of, throughput
@@ -19,6 +22,11 @@ from repro.perf.fastpath import FastpathBenchConfig, run_fastpath_bench
 from repro.perf.trainbench import TrainBenchConfig, run_train_bench
 from repro.perf.rss import PhaseRss, measure_phase_rss, reset_peak_rss
 from repro.perf.scalebench import ScaleBenchConfig, run_scale_bench
+from repro.perf.servebench import (
+    ServeBenchConfig,
+    render_serve_report,
+    run_serve_bench,
+)
 
 __all__ = [
     "Timer",
@@ -34,4 +42,7 @@ __all__ = [
     "reset_peak_rss",
     "ScaleBenchConfig",
     "run_scale_bench",
+    "ServeBenchConfig",
+    "render_serve_report",
+    "run_serve_bench",
 ]

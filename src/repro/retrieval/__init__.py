@@ -1,0 +1,34 @@
+"""Serving-scale candidate retrieval: ANN index + sharded factor stores.
+
+The paper's Reading&Machine back-end answers top-k requests with a full
+user x item matmul — exact, but a wall at the ROADMAP's million-user
+north star. This package provides the retrieval-then-rank split standard
+in large-catalogue recommenders:
+
+- :class:`~repro.retrieval.ivf.IVFIndex` — a numpy-only inverted-file
+  index: seeded k-means centroids over item vectors (BPR item factors,
+  embedder vectors, any ``(n_items, d)`` float matrix), probe the top-c
+  cells for a query, exact re-rank of the pooled candidates. Probing
+  every cell reproduces the exact scorer bit for bit (the *exact tier*),
+  so approximation is opt-in per request, never silent.
+- :class:`~repro.retrieval.shards.UserShardStore` — an mmap-backed,
+  user-sharded factor store: user factor rows live in per-shard ``.npy``
+  artefacts behind SHA-256 manifests and are loaded lazily, so serving
+  memory is O(active shards) rather than O(users).
+
+Both plug into :class:`~repro.app.service.RecommendationService`
+(``retrieval="ivf"``, ``user_shards=...``); the speed/recall trade-off
+is measured by ``python -m repro bench-serve`` and the contract each
+tier honours is tabulated in ``docs/determinism.md``. See
+``docs/serving.md`` for the end-to-end serving guide.
+"""
+
+from repro.retrieval.ivf import IVFIndex, recall_at_k
+from repro.retrieval.shards import UserShardStore, write_user_shards
+
+__all__ = [
+    "IVFIndex",
+    "UserShardStore",
+    "recall_at_k",
+    "write_user_shards",
+]

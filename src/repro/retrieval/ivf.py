@@ -1,0 +1,372 @@
+"""A numpy-only IVF (inverted-file) index for top-k candidate retrieval.
+
+Million-item catalogues make the exact scorer's full ``(1, d) @ (d, n)``
+matmul the serving bottleneck. The classic retrieval-then-rank answer is
+an inverted file: partition the item vectors into cells with k-means,
+and at query time score only the items of the ``probe_cells`` cells
+whose centroids look best for the query — an exact re-rank over a small
+candidate pool instead of the whole catalogue.
+
+Design points, in the repo's tiered-kernel style (PR-1/PR-6):
+
+- **Exact tier built in.** :meth:`IVFIndex.search` with
+  ``probe_cells >= n_cells`` pools *every* cell; the pool is then the
+  ascending item range, so the re-rank computes the very same
+  ``query @ vectors.T`` row, masks the same positions, and cuts top-k
+  with the same ``argpartition``/stable-sort kernel as the exact scorer
+  — bit-identical output, enforced by
+  ``tests/retrieval/test_ivf_properties.py``.
+- **Deterministic build.** Centroids come from seeded k-means
+  (:func:`repro.rng.derive_rng`, fixed iteration count, index-ordered
+  tie-breaks, deterministic empty-cell re-seeding), so the same
+  ``(vectors, n_cells, seed)`` always builds the same index.
+- **Monotone recall.** Candidate pools grow as supersets in
+  ``probe_cells`` (and in ``min_candidates``), so recall@k is monotone
+  non-decreasing in the probe width — the knob trades latency for
+  recall and nothing else.
+
+The index is agnostic to what the vectors are: BPR item factors,
+hashed-TF-IDF embedder vectors, any ``(n_items, d)`` float matrix whose
+relevance is a dot product. ``docs/serving.md`` explains how to choose
+``probe_cells``; ``python -m repro bench-serve`` measures the
+recall-vs-latency frontier and writes ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import EXCLUDED_SCORE, _top_k
+from repro.errors import ConfigurationError
+from repro.rng import derive_rng
+
+#: Lloyd iterations run by :meth:`IVFIndex.build` (fixed, so the build
+#: cost and the result are independent of convergence accidents).
+DEFAULT_KMEANS_ITERS = 10
+
+#: Items scored per assignment block during the build (bounds the
+#: ``(block, n_cells)`` distance matrix, so building over a million-item
+#: catalogue never materialises an n x c float64 monster).
+_ASSIGN_BLOCK = 8192
+
+
+def default_n_cells(n_items: int) -> int:
+    """The auto cell count: ``ceil(sqrt(n_items))``, clamped to the catalogue.
+
+    The square-root rule balances the two per-query costs — ranking
+    ``n_cells`` centroids and re-ranking ``n_items / n_cells`` items per
+    probed cell — which is the standard IVF sizing heuristic.
+    """
+    if n_items < 1:
+        raise ConfigurationError(f"n_items must be >= 1, got {n_items}")
+    return int(min(n_items, max(1, np.ceil(np.sqrt(n_items)))))
+
+
+def default_probe_cells(n_cells: int) -> int:
+    """The default probe width: half the cells, at least one.
+
+    A deliberately conservative default — on the bench corpus it lands
+    recall@10 well above 0.95 (asserted by the ``bench-serve`` CI smoke
+    job) while halving the scored candidates; ``docs/serving.md`` shows
+    how to pick a leaner point on the recall-vs-latency frontier from
+    ``BENCH_serve.json``.
+    """
+    if n_cells < 1:
+        raise ConfigurationError(f"n_cells must be >= 1, got {n_cells}")
+    return max(1, int(np.ceil(n_cells / 2)))
+
+
+class IVFIndex:
+    """Seeded k-means inverted file over a matrix of item vectors.
+
+    Build with :meth:`build`; query with :meth:`search` (approximate,
+    ``probe_cells`` cells) or :meth:`exact_top_k` (the full-pool exact
+    tier). Every item belongs to exactly one cell and cell membership
+    arrays are ascending, so the probe-everything pool *is* the item
+    index range — the property the exact-tier bit-identity rests on.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        centroids: np.ndarray,
+        assignments: np.ndarray,
+        seed: int | None,
+    ) -> None:
+        self._vectors = vectors
+        self.centroids = centroids
+        self.assignments = assignments
+        self.seed = seed
+        order = np.argsort(assignments, kind="stable")
+        sizes = np.bincount(assignments, minlength=len(centroids))
+        starts = np.concatenate(([0], np.cumsum(sizes)))
+        self._cell_items = order.astype(np.int64)
+        self._cell_sizes = sizes.astype(np.int64)
+        self._cell_starts = starts.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        n_cells: int | None = None,
+        n_iters: int = DEFAULT_KMEANS_ITERS,
+        seed: int | None = None,
+    ) -> "IVFIndex":
+        """Cluster ``vectors`` into an IVF index (pure function of inputs).
+
+        Args:
+            vectors: ``(n_items, d)`` float matrix; copied to float64 so
+                re-rank arithmetic matches the exact scorer's dtype.
+            n_cells: number of k-means cells (default:
+                :func:`default_n_cells`); clamped to ``n_items``.
+            n_iters: Lloyd iterations (fixed count — no data-dependent
+                stopping, so the build is deterministic).
+            seed: ``repro.rng`` seed for the centroid initialisation.
+        """
+        vectors = np.ascontiguousarray(np.asarray(vectors, dtype=np.float64))
+        if vectors.ndim != 2 or vectors.shape[0] < 1:
+            raise ConfigurationError(
+                "vectors must be a non-empty (n_items, d) matrix, got "
+                f"shape {vectors.shape}"
+            )
+        if not np.isfinite(vectors).all():
+            raise ConfigurationError("vectors must be finite")
+        n_items = vectors.shape[0]
+        if n_cells is None:
+            n_cells = default_n_cells(n_items)
+        if n_cells < 1:
+            raise ConfigurationError(f"n_cells must be >= 1, got {n_cells}")
+        n_cells = min(n_cells, n_items)
+        if n_iters < 1:
+            raise ConfigurationError(f"n_iters must be >= 1, got {n_iters}")
+        rng = derive_rng(seed, "retrieval", "ivf", "init")
+        initial = rng.choice(n_items, size=n_cells, replace=False)
+        centroids = vectors[np.sort(initial)].copy()
+        assignments = _assign_cells(vectors, centroids)
+        for _ in range(n_iters):
+            centroids = _update_centroids(vectors, assignments, centroids)
+            assignments = _assign_cells(vectors, centroids)
+        return cls(vectors, centroids, assignments, seed)
+
+    @property
+    def n_items(self) -> int:
+        """How many item vectors the index covers."""
+        return int(self._vectors.shape[0])
+
+    @property
+    def n_cells(self) -> int:
+        """How many k-means cells partition the items."""
+        return int(self.centroids.shape[0])
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The indexed ``(n_items, d)`` float64 item-vector matrix."""
+        return self._vectors
+
+    def cell_items(self, cell: int) -> np.ndarray:
+        """The ascending item indices assigned to ``cell``."""
+        start = self._cell_starts[cell]
+        stop = self._cell_starts[cell + 1]
+        return self._cell_items[start:stop]
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+
+    def rank_cells(self, query: np.ndarray) -> np.ndarray:
+        """Cells ordered most-promising first for a dot-product query.
+
+        Relevance here is the model's own score (``query . item``), so
+        cells are ranked by ``centroid . query`` — the centroid stands in
+        for its members. Stable sort: centroid-score ties break toward
+        the lower cell index, keeping probes deterministic.
+        """
+        scores = self.centroids @ np.asarray(query, dtype=np.float64)
+        return np.argsort(-scores, kind="stable")
+
+    def candidates(
+        self,
+        query: np.ndarray,
+        probe_cells: int,
+        min_candidates: int = 0,
+    ) -> np.ndarray:
+        """The ascending candidate pool for ``query``.
+
+        Takes the top ``probe_cells`` cells of :meth:`rank_cells`, then
+        keeps widening cell by cell until the pool holds at least
+        ``min_candidates`` items (or every cell is taken) — so a caller
+        asking for k survivors after masking always gets a full list
+        when the catalogue allows one. Pools are supersets as either
+        knob grows, which is what makes recall@k monotone.
+        """
+        if probe_cells < 1:
+            raise ConfigurationError(
+                f"probe_cells must be >= 1, got {probe_cells}"
+            )
+        order = self.rank_cells(query)
+        take = min(probe_cells, self.n_cells)
+        if min_candidates > 0 and take < self.n_cells:
+            pooled = np.cumsum(self._cell_sizes[order])
+            needed = int(np.searchsorted(pooled, min_candidates)) + 1
+            take = min(self.n_cells, max(take, needed))
+        if take >= self.n_cells:
+            return np.arange(self.n_items, dtype=np.int64)
+        chosen = order[:take]
+        pool = np.concatenate([self.cell_items(int(cell)) for cell in chosen])
+        return np.sort(pool)
+
+    # ------------------------------------------------------------------
+    # search: probe + exact re-rank
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        probe_cells: int,
+        exclude: np.ndarray | None = None,
+        min_candidates: int | None = None,
+    ) -> np.ndarray:
+        """Top-``k`` item indices for ``query`` from the probed pool.
+
+        ``exclude`` masks item indices (already-read books) exactly the
+        way the exact scorer does — their scores become
+        :data:`~repro.core.base.EXCLUDED_SCORE` before the cut, so they
+        can never be returned. ``min_candidates`` defaults to
+        ``k + len(exclude)``: enough survivors for a full list.
+
+        With ``probe_cells >= n_cells`` the pool is the whole ascending
+        item range and this method is bit-identical to
+        :meth:`exact_top_k` (and to the exact scorer it mirrors).
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        excluded = 0 if exclude is None else len(exclude)
+        if min_candidates is None:
+            min_candidates = k + excluded
+        pool = self.candidates(query, probe_cells, min_candidates)
+        return self.rerank(pool, query, k, exclude)
+
+    def exact_top_k(
+        self, query: np.ndarray, k: int, exclude: np.ndarray | None = None
+    ) -> np.ndarray:
+        """The exact tier: re-rank the entire catalogue (no probing).
+
+        The reference answer for recall measurements, and the target the
+        probe-everything :meth:`search` must match bit for bit.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        pool = np.arange(self.n_items, dtype=np.int64)
+        return self.rerank(pool, query, k, exclude)
+
+    def rerank(
+        self,
+        pool: np.ndarray,
+        query: np.ndarray,
+        k: int,
+        exclude: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Exact top-k over ``pool``, sharing the exact scorer's kernels.
+
+        The score row is the same ``(1, d) @ (d, m)`` GEMM the exact
+        scorer runs (for the full pool, on the very same operand
+        values), the mask is the same ``EXCLUDED_SCORE`` scatter, and
+        the cut is :func:`repro.core.base._top_k` itself — so the exact
+        tier cannot drift from the scorer it claims to match.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        scores = (query[np.newaxis, :] @ self._vectors[pool].T)[0]
+        if exclude is not None and len(exclude):
+            scores[np.isin(pool, exclude)] = EXCLUDED_SCORE
+        top = _top_k(scores, k)
+        return pool[top]
+
+
+def recall_at_k(
+    index: IVFIndex,
+    queries: np.ndarray,
+    k: int,
+    probe_cells: int,
+    exclude: "list[np.ndarray] | None" = None,
+) -> float:
+    """Mean recall@k of probed search against the exact tier.
+
+    For each query the approximate top-k is compared with
+    :meth:`IVFIndex.exact_top_k`; recall is the overlap fraction,
+    averaged over queries. ``exclude`` optionally gives one masked item
+    array per query (the serving case: already-read books).
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[0] < 1:
+        raise ConfigurationError(
+            f"queries must be a non-empty (m, d) matrix, got {queries.shape}"
+        )
+    total = 0.0
+    for row, query in enumerate(queries):
+        mask = exclude[row] if exclude is not None else None
+        exact = index.exact_top_k(query, k, exclude=mask)
+        if len(exact) == 0:
+            total += 1.0
+            continue
+        approx = index.search(query, k, probe_cells, exclude=mask)
+        overlap = np.intersect1d(exact, approx, assume_unique=True)
+        total += len(overlap) / len(exact)
+    return total / queries.shape[0]
+
+
+# ----------------------------------------------------------------------
+# seeded k-means internals
+# ----------------------------------------------------------------------
+
+
+def _assign_cells(vectors: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment (squared Euclidean), blockwise.
+
+    ``np.argmin`` breaks distance ties toward the lower cell index, so
+    the assignment is a pure function of the operands.
+    """
+    centroid_sq = np.einsum("ij,ij->i", centroids, centroids)
+    assignments = np.empty(vectors.shape[0], dtype=np.int64)
+    for start in range(0, vectors.shape[0], _ASSIGN_BLOCK):
+        block = vectors[start:start + _ASSIGN_BLOCK]
+        distances = centroid_sq[np.newaxis, :] - 2.0 * (block @ centroids.T)
+        assignments[start:start + _ASSIGN_BLOCK] = np.argmin(distances, axis=1)
+    return assignments
+
+
+def _update_centroids(
+    vectors: np.ndarray, assignments: np.ndarray, centroids: np.ndarray
+) -> np.ndarray:
+    """One Lloyd update: per-cell means, empty cells re-seeded.
+
+    Sums run as one ``bincount`` per dimension (d is small). An empty
+    cell steals the point currently farthest from its own centroid —
+    farthest first, index-ordered on ties — so no cell ever stays
+    empty and the fix is deterministic.
+    """
+    n_cells, d = centroids.shape
+    counts = np.bincount(assignments, minlength=n_cells).astype(np.float64)
+    sums = np.empty_like(centroids)
+    for dim in range(d):
+        sums[:, dim] = np.bincount(
+            assignments, weights=vectors[:, dim], minlength=n_cells
+        )
+    updated = centroids.copy()
+    filled = counts > 0
+    updated[filled] = sums[filled] / counts[filled, np.newaxis]
+    empty = np.flatnonzero(~filled)
+    if len(empty):
+        residuals = np.einsum(
+            "ij,ij->i", vectors - updated[assignments],
+            vectors - updated[assignments],
+        )
+        # Farthest points first; argsort's stability makes ties break
+        # toward the lower item index.
+        donors = np.argsort(-residuals, kind="stable")[: len(empty)]
+        updated[empty] = vectors[donors]
+    return updated

@@ -1,0 +1,234 @@
+"""An mmap-backed, user-sharded factor store for serving at scale.
+
+A million-user factor matrix (``n_users x d`` float64) does not belong
+resident in every serving process. This module shards the user-factor
+rows into contiguous per-shard ``.npy`` artefacts — written atomically
+behind a SHA-256 manifest, the PR-8 corpus machinery applied to model
+state — and loads shards lazily as ``numpy`` memmaps: resident memory is
+O(active shards), the OS page cache does the rest, and a cold shard
+costs one ``np.load(..., mmap_mode="r")``, not a full-matrix read.
+
+Row fidelity is exact: shards store the factor rows byte-for-byte, so a
+gather through the store is bit-identical to fancy-indexing the
+in-memory matrix (``tests/retrieval/test_shardstore.py`` pins this).
+:class:`~repro.app.service.RecommendationService` uses the store for
+primary scoring (``user_shards=...``) and coalesces same-shard batch
+requests so each shard is touched once per batch; ``python -m repro
+health <dir>`` verifies a store like any other manifested artefact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PersistenceError
+from repro.resilience.artefacts import atomic_write, verify_manifest, write_manifest
+
+#: Manifest ``kind`` tag for a user-shard store directory.
+SHARD_KIND = "user-shards"
+
+#: Store metadata file (row counts, shard plan, dtype).
+META_NAME = "shards.json"
+
+#: Default shard count for :func:`write_user_shards`.
+DEFAULT_SHARDS = 8
+
+#: Default shards kept resident by :class:`UserShardStore`.
+DEFAULT_RESIDENT = 2
+
+
+def shard_name(shard: int) -> str:
+    """The on-disk file name of shard ``shard``."""
+    return f"shard-{shard:04d}.npy"
+
+
+def write_user_shards(
+    root: "str | Path",
+    user_factors: np.ndarray,
+    n_shards: int = DEFAULT_SHARDS,
+) -> Path:
+    """Write ``user_factors`` as a manifested user-shard store.
+
+    Rows are split into ``n_shards`` contiguous, near-equal shards
+    (shard ``s`` holds rows ``[s * rows_per_shard, ...)``), each saved
+    with :func:`~repro.resilience.artefacts.atomic_write` so a crash
+    mid-write never leaves a half shard behind, and the whole directory
+    is fingerprinted by one SHA-256 manifest.
+
+    Returns the store root. Load it back with :class:`UserShardStore`.
+    """
+    factors = np.ascontiguousarray(np.asarray(user_factors))
+    if factors.ndim != 2 or factors.shape[0] < 1:
+        raise ConfigurationError(
+            "user_factors must be a non-empty (n_users, d) matrix, got "
+            f"shape {factors.shape}"
+        )
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    n_users = factors.shape[0]
+    n_shards = min(n_shards, n_users)
+    rows_per_shard = -(-n_users // n_shards)
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    files: list[Path] = []
+    for shard in range(n_shards):
+        start = shard * rows_per_shard
+        stop = min(n_users, start + rows_per_shard)
+        path = root / shard_name(shard)
+        with atomic_write(path, "wb") as handle:
+            np.save(handle, factors[start:stop])
+        files.append(path)
+    meta = {
+        "n_users": int(n_users),
+        "n_factors": int(factors.shape[1]),
+        "n_shards": int(n_shards),
+        "rows_per_shard": int(rows_per_shard),
+        "dtype": str(factors.dtype),
+    }
+    meta_path = root / META_NAME
+    with atomic_write(meta_path, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    files.append(meta_path)
+    write_manifest(root, files, kind=SHARD_KIND)
+    return root
+
+
+class UserShardStore:
+    """Lazy, bounded-residency reader over a user-shard store directory.
+
+    Shards are opened as read-only memmaps on first touch and kept in a
+    small LRU (``max_resident``); touching a new shard past the bound
+    evicts the least-recently-used one, so a long-lived service's
+    factor memory stays O(``max_resident`` shards) no matter how many
+    users exist. All methods are thread-safe (one store may back a
+    concurrent service).
+
+    Args:
+        root: the store directory written by :func:`write_user_shards`.
+        max_resident: shards kept mapped at once (>= 1).
+        verify: check the directory manifest on open (corruption
+            surfaces as :class:`~repro.errors.PersistenceError` here
+            rather than as garbage factors mid-request).
+    """
+
+    def __init__(
+        self,
+        root: "str | Path",
+        max_resident: int = DEFAULT_RESIDENT,
+        verify: bool = True,
+    ) -> None:
+        if max_resident < 1:
+            raise ConfigurationError(
+                f"max_resident must be >= 1, got {max_resident}"
+            )
+        self.root = Path(root)
+        if verify:
+            verify_manifest(self.root, kind=SHARD_KIND)
+        meta_path = self.root / META_NAME
+        if not meta_path.exists():
+            raise PersistenceError(f"{meta_path} is missing")
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        self.n_users = int(meta["n_users"])
+        self.n_factors = int(meta["n_factors"])
+        self.n_shards = int(meta["n_shards"])
+        self.rows_per_shard = int(meta["rows_per_shard"])
+        self.dtype = np.dtype(meta["dtype"])
+        self.max_resident = max_resident
+        self.loads = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._resident: "OrderedDict[int, np.ndarray]" = OrderedDict()
+
+    def shard_of(self, user_index: int) -> int:
+        """Which shard holds ``user_index``'s factor row."""
+        if not 0 <= user_index < self.n_users:
+            raise ConfigurationError(
+                f"user index {user_index} outside [0, {self.n_users})"
+            )
+        return user_index // self.rows_per_shard
+
+    def shard_bounds(self, shard: int) -> tuple[int, int]:
+        """The ``[start, stop)`` user-index range of ``shard``."""
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"shard {shard} outside [0, {self.n_shards})"
+            )
+        start = shard * self.rows_per_shard
+        return start, min(self.n_users, start + self.rows_per_shard)
+
+    def shard(self, shard: int) -> np.ndarray:
+        """The memmapped factor block of ``shard`` (LRU-resident)."""
+        start, _ = self.shard_bounds(shard)
+        with self._lock:
+            block = self._resident.get(shard)
+            if block is not None:
+                self._resident.move_to_end(shard)
+                return block
+            block = np.load(self.root / shard_name(shard), mmap_mode="r")
+            self._resident[shard] = block
+            self.loads += 1
+            while len(self._resident) > self.max_resident:
+                self._resident.popitem(last=False)
+                self.evictions += 1
+            return block
+
+    def user_vector(self, user_index: int) -> np.ndarray:
+        """One user's factor row (a copy, safe to hold across evictions)."""
+        shard = self.shard_of(user_index)
+        start, _ = self.shard_bounds(shard)
+        return np.array(self.shard(shard)[user_index - start])
+
+    def group_by_shard(
+        self, user_indices: np.ndarray
+    ) -> "dict[int, np.ndarray]":
+        """Positions of ``user_indices`` grouped by owning shard.
+
+        The coalescing primitive: ``{shard: positions}`` where
+        ``positions`` index into ``user_indices`` in their original
+        order, so a batch can score each shard's users in one gathered
+        matmul while touching each shard exactly once.
+        """
+        user_indices = np.asarray(user_indices, dtype=np.int64)
+        shards = user_indices // self.rows_per_shard
+        return {
+            int(shard): np.flatnonzero(shards == shard)
+            for shard in np.unique(shards)
+        }
+
+    def gather(self, user_indices: np.ndarray) -> np.ndarray:
+        """Factor rows for ``user_indices``, bit-equal to fancy indexing.
+
+        Rows come back in request order; each owning shard is touched
+        once. The result is a fresh in-memory array (the caller may
+        matmul it long after the shards were evicted).
+        """
+        user_indices = np.asarray(user_indices, dtype=np.int64)
+        out = np.empty((len(user_indices), self.n_factors), dtype=self.dtype)
+        for shard, positions in self.group_by_shard(user_indices).items():
+            start, _ = self.shard_bounds(shard)
+            block = self.shard(shard)
+            out[positions] = block[user_indices[positions] - start]
+        return out
+
+    @property
+    def resident_shards(self) -> tuple[int, ...]:
+        """The shard ids currently memmapped, oldest first."""
+        with self._lock:
+            return tuple(self._resident)
+
+    def stats(self) -> dict:
+        """Load/eviction/residency accounting for health reports."""
+        with self._lock:
+            return {
+                "n_shards": self.n_shards,
+                "resident": len(self._resident),
+                "max_resident": self.max_resident,
+                "loads": self.loads,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,99 @@
+"""Smoke tests for the serving bench: schema, gates, and rendering."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.perf.servebench import (
+    ServeBenchConfig,
+    render_serve_report,
+    run_serve_bench,
+)
+
+#: Micro bench: the full sweep in a few seconds. Shape mirrors the
+#: quick config but smaller still — the gates here are structural
+#: (schema, equivalence booleans), not the CI recall gate.
+MICRO = replace(
+    ServeBenchConfig.quick(),
+    n_books=300, n_authors=110, n_bct_users=110, n_anobii_users=450,
+    epochs=4, sample_users=24, repeats=1,
+    replay_requests=60, replay_batch=16,
+    synthetic_items=3000, synthetic_queries=8,
+)
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH_serve.json"
+    result = run_serve_bench(MICRO, output_path=path)
+    result["_path"] = path
+    return result
+
+
+class TestRunServeBench:
+    def test_sections_present(self, report):
+        assert {
+            "bench", "config", "dataset", "equivalence", "exact",
+            "frontier", "default", "zipf_replay", "synthetic_scale",
+        } <= set(report)
+        assert report["bench"] == "serve"
+
+    def test_equivalence_booleans_hold(self, report):
+        equivalence = report["equivalence"]
+        assert equivalence["users_checked"] == MICRO.sample_users
+        assert equivalence["ivf_probe_all_bit_identical"] is True
+        assert equivalence["shard_store_bit_identical"] is True
+
+    def test_frontier_schema_and_monotone_recall(self, report):
+        frontier = report["frontier"]
+        assert len(frontier) >= 2
+        previous = 0.0
+        for point in frontier:
+            assert point["probe_cells"] >= 1
+            assert 0.0 <= point["recall_at_k"] <= 1.0
+            assert point["seconds_per_request"] > 0
+            assert point["speedup_vs_exact"] > 0
+            assert point["recall_at_k"] >= previous - 1e-12
+            previous = point["recall_at_k"]
+        # The widest probe is the whole index: exact lists, recall 1.
+        assert frontier[-1]["probe_cells"] == report["default"]["n_cells"]
+        assert frontier[-1]["recall_at_k"] == 1.0
+
+    def test_default_point_is_on_the_frontier(self, report):
+        default = report["default"]
+        widths = [point["probe_cells"] for point in report["frontier"]]
+        assert default["probe_cells"] in widths
+
+    def test_zipf_replay_accounting(self, report):
+        replay = report["zipf_replay"]
+        assert replay["requests"] == MICRO.replay_requests
+        assert replay["seconds"] > 0
+        assert 0.0 <= replay["cache_hit_rate"] <= 1.0
+        assert replay["coalesced_groups"] >= 1
+        assert 1 <= replay["distinct_users"] <= MICRO.replay_requests
+        shards = replay["shards"]
+        assert shards["resident"] <= shards["max_resident"]
+
+    def test_synthetic_scale_schema(self, report):
+        synthetic = report["synthetic_scale"]
+        assert synthetic["n_items"] == MICRO.synthetic_items
+        assert synthetic["probe_cells"] <= synthetic["n_cells"]
+        assert 0.0 <= synthetic["recall_at_k"] <= 1.0
+        assert synthetic["exact_seconds_per_query"] > 0
+        assert synthetic["speedup_vs_exact"] > 0
+        widths = [p["probe_cells"] for p in synthetic["frontier"]]
+        assert widths == sorted(widths)
+        assert widths[-1] == synthetic["probe_cells"]
+
+    def test_written_file_round_trips(self, report):
+        on_disk = json.loads(report["_path"].read_text(encoding="utf-8"))
+        assert on_disk["bench"] == "serve"
+        assert on_disk["equivalence"] == report["equivalence"]
+
+    def test_render_mentions_the_key_numbers(self, report):
+        text = render_serve_report(report)
+        assert "serve bench" in text
+        assert "bit-identical" in text
+        assert "<- default" in text
+        assert "zipf replay" in text

@@ -1,0 +1,154 @@
+"""Unit tests for the IVF index: build, probe, search, recall."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.retrieval.ivf import (
+    IVFIndex,
+    default_n_cells,
+    default_probe_cells,
+    recall_at_k,
+)
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(7)
+    return rng.normal(size=(400, 16))
+
+
+@pytest.fixture(scope="module")
+def index(vectors):
+    return IVFIndex.build(vectors, seed=99)
+
+
+class TestDefaults:
+    def test_default_n_cells_is_sqrt_clamped(self):
+        assert default_n_cells(1) == 1
+        assert default_n_cells(100) == 10
+        assert default_n_cells(101) == 11
+        assert default_n_cells(3) == 2
+
+    def test_default_probe_cells_is_half(self):
+        assert default_probe_cells(1) == 1
+        assert default_probe_cells(10) == 5
+        assert default_probe_cells(11) == 6
+
+    def test_invalid_counts_raise(self):
+        with pytest.raises(ConfigurationError):
+            default_n_cells(0)
+        with pytest.raises(ConfigurationError):
+            default_probe_cells(0)
+
+
+class TestBuild:
+    def test_shapes_and_cell_count(self, index, vectors):
+        assert index.n_items == len(vectors)
+        assert index.n_cells == default_n_cells(len(vectors))
+        assert index.centroids.shape == (index.n_cells, vectors.shape[1])
+        assert index.assignments.shape == (len(vectors),)
+
+    def test_cells_partition_the_items(self, index):
+        pooled = np.concatenate(
+            [index.cell_items(cell) for cell in range(index.n_cells)]
+        )
+        assert np.array_equal(np.sort(pooled), np.arange(index.n_items))
+
+    def test_cell_items_are_ascending(self, index):
+        for cell in range(index.n_cells):
+            items = index.cell_items(cell)
+            assert np.array_equal(items, np.sort(items))
+
+    def test_more_cells_than_items_clamps(self):
+        index = IVFIndex.build(np.eye(5), n_cells=50, seed=1)
+        assert index.n_cells == 5
+
+    def test_rejects_bad_vectors(self):
+        with pytest.raises(ConfigurationError):
+            IVFIndex.build(np.ones(4))
+        with pytest.raises(ConfigurationError):
+            IVFIndex.build(np.empty((0, 3)))
+        with pytest.raises(ConfigurationError):
+            IVFIndex.build(np.array([[1.0, np.nan]]))
+        with pytest.raises(ConfigurationError):
+            IVFIndex.build(np.eye(3), n_cells=0)
+        with pytest.raises(ConfigurationError):
+            IVFIndex.build(np.eye(3), n_iters=0)
+
+
+class TestCandidates:
+    def test_probe_all_is_the_item_range(self, index):
+        pool = index.candidates(np.zeros(16), probe_cells=index.n_cells)
+        assert np.array_equal(pool, np.arange(index.n_items))
+
+    def test_pools_grow_as_supersets(self, index, vectors):
+        query = vectors[3]
+        previous = index.candidates(query, probe_cells=1)
+        for probe in range(2, index.n_cells + 1):
+            pool = index.candidates(query, probe_cells=probe)
+            assert np.isin(previous, pool).all()
+            previous = pool
+
+    def test_min_candidates_widens_the_pool(self, index, vectors):
+        query = vectors[0]
+        narrow = index.candidates(query, probe_cells=1)
+        widened = index.candidates(
+            query, probe_cells=1, min_candidates=len(narrow) + 1
+        )
+        assert len(widened) > len(narrow)
+        assert np.isin(narrow, widened).all()
+
+    def test_min_candidates_beyond_catalogue_returns_all(self, index):
+        pool = index.candidates(
+            np.zeros(16), probe_cells=1, min_candidates=index.n_items + 99
+        )
+        assert np.array_equal(pool, np.arange(index.n_items))
+
+    def test_probe_must_be_positive(self, index):
+        with pytest.raises(ConfigurationError):
+            index.candidates(np.zeros(16), probe_cells=0)
+
+
+class TestSearch:
+    def test_probe_all_matches_exact_bit_for_bit(self, index, vectors):
+        for row in range(0, 50, 7):
+            exact = index.exact_top_k(vectors[row], k=10)
+            probed = index.search(vectors[row], k=10, probe_cells=index.n_cells)
+            assert np.array_equal(exact, probed)
+
+    def test_exclude_masks_items(self, index, vectors):
+        exclude = index.exact_top_k(vectors[2], k=3)
+        result = index.search(
+            vectors[2], k=10, probe_cells=index.n_cells, exclude=exclude
+        )
+        assert not np.isin(result, exclude).any()
+
+    def test_min_candidates_defaults_to_full_list(self, index, vectors):
+        # Excluding the entire narrow pool still yields k survivors
+        # because the default min_candidates widens past the exclusions.
+        exclude = index.candidates(vectors[5], probe_cells=1)
+        result = index.search(vectors[5], k=5, probe_cells=1, exclude=exclude)
+        assert len(result) == 5
+        assert not np.isin(result, exclude).any()
+
+    def test_k_must_be_positive(self, index):
+        with pytest.raises(ConfigurationError):
+            index.search(np.zeros(16), k=0, probe_cells=1)
+        with pytest.raises(ConfigurationError):
+            index.exact_top_k(np.zeros(16), k=0)
+
+
+class TestRecall:
+    def test_probe_all_recall_is_one(self, index, vectors):
+        assert recall_at_k(
+            index, vectors[:20], k=10, probe_cells=index.n_cells
+        ) == 1.0
+
+    def test_recall_between_zero_and_one(self, index, vectors):
+        recall = recall_at_k(index, vectors[:20], k=10, probe_cells=1)
+        assert 0.0 <= recall <= 1.0
+
+    def test_rejects_bad_queries(self, index):
+        with pytest.raises(ConfigurationError):
+            recall_at_k(index, np.zeros(16), k=10, probe_cells=1)

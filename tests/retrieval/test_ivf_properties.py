@@ -1,0 +1,78 @@
+"""Property-based tests for the IVF index (the determinism.md rows).
+
+Hypothesis draws random vector matrices and probe widths; for every
+draw the index must partition exactly, the probe-everything search must
+be bit-identical to the exact tier, recall@10 must be monotone
+non-decreasing in the probe width, and a seeded rebuild must reproduce
+the index bit for bit.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.retrieval.ivf import IVFIndex, recall_at_k
+
+settings.register_profile("ivf", deadline=None, max_examples=15)
+
+
+@st.composite
+def indexed_vectors(draw):
+    """A random (n, d) float matrix plus build parameters."""
+    n_items = draw(st.integers(min_value=1, max_value=120))
+    d = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    n_cells = draw(st.one_of(
+        st.none(), st.integers(min_value=1, max_value=n_items)
+    ))
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n_items, d))
+    return vectors, n_cells, seed
+
+
+@settings(deadline=None, max_examples=15)
+@given(indexed_vectors())
+def test_cells_partition_the_items_exactly(params):
+    vectors, n_cells, seed = params
+    index = IVFIndex.build(vectors, n_cells=n_cells, seed=seed)
+    pooled = np.concatenate(
+        [index.cell_items(cell) for cell in range(index.n_cells)]
+    )
+    assert len(pooled) == index.n_items
+    assert np.array_equal(np.sort(pooled), np.arange(index.n_items))
+
+
+@settings(deadline=None, max_examples=15)
+@given(indexed_vectors(), st.integers(min_value=1, max_value=10))
+def test_probe_all_is_bit_identical_to_exact(params, k):
+    vectors, n_cells, seed = params
+    index = IVFIndex.build(vectors, n_cells=n_cells, seed=seed)
+    for query in vectors[:5]:
+        exact = index.exact_top_k(query, k)
+        probed = index.search(query, k, probe_cells=index.n_cells)
+        assert np.array_equal(exact, probed)
+
+
+@settings(deadline=None, max_examples=10)
+@given(indexed_vectors())
+def test_recall_at_10_is_monotone_in_probe_cells(params):
+    vectors, n_cells, seed = params
+    index = IVFIndex.build(vectors, n_cells=n_cells, seed=seed)
+    queries = vectors[: min(8, len(vectors))]
+    previous = 0.0
+    for probe in range(1, index.n_cells + 1):
+        recall = recall_at_k(index, queries, k=10, probe_cells=probe)
+        assert recall >= previous - 1e-12
+        previous = recall
+    assert previous == 1.0  # probe-everything recovers the exact lists
+
+
+@settings(deadline=None, max_examples=10)
+@given(indexed_vectors())
+def test_seeded_rebuild_is_bit_identical(params):
+    vectors, n_cells, seed = params
+    first = IVFIndex.build(vectors, n_cells=n_cells, seed=seed)
+    second = IVFIndex.build(vectors.copy(), n_cells=n_cells, seed=seed)
+    assert np.array_equal(first.centroids, second.centroids)
+    assert np.array_equal(first.assignments, second.assignments)
+    for cell in range(first.n_cells):
+        assert np.array_equal(first.cell_items(cell), second.cell_items(cell))

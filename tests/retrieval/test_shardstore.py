@@ -1,0 +1,124 @@
+"""Tests for the mmap-backed user-shard store: fidelity, LRU, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PersistenceError
+from repro.retrieval.shards import (
+    UserShardStore,
+    shard_name,
+    write_user_shards,
+)
+
+
+@pytest.fixture(scope="module")
+def factors():
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(37, 6))
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory, factors):
+    root = tmp_path_factory.mktemp("shards") / "user-shards"
+    return write_user_shards(root, factors, n_shards=5)
+
+
+@pytest.fixture
+def store(store_root):
+    return UserShardStore(store_root, max_resident=2)
+
+
+class TestWrite:
+    def test_writes_manifest_and_meta(self, store_root):
+        assert (store_root / "MANIFEST.json").exists()
+        assert (store_root / "shards.json").exists()
+        assert (store_root / shard_name(0)).exists()
+
+    def test_rejects_bad_inputs(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_user_shards(tmp_path / "s", np.ones(4))
+        with pytest.raises(ConfigurationError):
+            write_user_shards(tmp_path / "s", np.eye(3), n_shards=0)
+
+    def test_shard_count_clamped_to_users(self, tmp_path):
+        root = write_user_shards(tmp_path / "s", np.eye(3), n_shards=10)
+        assert UserShardStore(root).n_shards == 3
+
+
+class TestFidelity:
+    def test_user_vector_matches_source_rows(self, store, factors):
+        for user in range(len(factors)):
+            assert np.array_equal(store.user_vector(user), factors[user])
+
+    def test_gather_is_bit_equal_to_fancy_indexing(self, store, factors):
+        rng = np.random.default_rng(3)
+        indices = rng.integers(0, len(factors), size=25)
+        assert np.array_equal(store.gather(indices), factors[indices])
+
+    def test_gather_preserves_request_order(self, store, factors):
+        indices = np.array([36, 0, 17, 0, 5])
+        assert np.array_equal(store.gather(indices), factors[indices])
+
+    def test_shard_bounds_tile_the_users(self, store, factors):
+        covered = []
+        for shard in range(store.n_shards):
+            start, stop = store.shard_bounds(shard)
+            covered.extend(range(start, stop))
+            assert store.shard(shard).shape == (stop - start, store.n_factors)
+        assert covered == list(range(len(factors)))
+
+    def test_group_by_shard_partitions_positions(self, store):
+        indices = np.array([0, 36, 8, 8, 20])
+        groups = store.group_by_shard(indices)
+        positions = np.sort(np.concatenate(list(groups.values())))
+        assert np.array_equal(positions, np.arange(len(indices)))
+        for shard, members in groups.items():
+            assert all(
+                store.shard_of(int(indices[p])) == shard for p in members
+            )
+
+
+class TestResidency:
+    def test_lru_bounds_resident_shards(self, store):
+        for shard in range(store.n_shards):
+            store.shard(shard)
+        stats = store.stats()
+        assert stats["resident"] == 2
+        assert stats["loads"] == store.n_shards
+        assert stats["evictions"] == store.n_shards - 2
+
+    def test_touch_refreshes_recency(self, store):
+        store.shard(0)
+        store.shard(1)
+        store.shard(0)  # 0 is now most recent
+        store.shard(2)  # evicts 1, not 0
+        assert store.resident_shards == (0, 2)
+
+    def test_rejects_bad_bounds(self, store):
+        with pytest.raises(ConfigurationError):
+            store.shard_of(-1)
+        with pytest.raises(ConfigurationError):
+            store.shard_of(store.n_users)
+        with pytest.raises(ConfigurationError):
+            store.shard_bounds(store.n_shards)
+        with pytest.raises(ConfigurationError):
+            UserShardStore(store.root, max_resident=0)
+
+
+class TestCorruption:
+    def test_flipped_byte_fails_verification(self, tmp_path, factors):
+        root = write_user_shards(tmp_path / "s", factors, n_shards=3)
+        path = root / shard_name(1)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(PersistenceError):
+            UserShardStore(root)
+        # verify=False skips the manifest check (the caller's choice).
+        UserShardStore(root, verify=False)
+
+    def test_missing_meta_fails(self, tmp_path, factors):
+        root = write_user_shards(tmp_path / "s", factors, n_shards=2)
+        (root / "shards.json").unlink()
+        with pytest.raises(PersistenceError):
+            UserShardStore(root, verify=False)
