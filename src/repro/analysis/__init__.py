@@ -23,6 +23,11 @@ doc checkers keep running in dependency-free CI jobs.
 
 from __future__ import annotations
 
+from repro.analysis.dataflow import (
+    DataflowModel,
+    WitnessStep,
+    get_dataflow,
+)
 from repro.analysis.findings import (
     SEVERITY_ERROR,
     SEVERITY_WARNING,
@@ -32,15 +37,19 @@ from repro.analysis.model import ProjectModel, SourceFile, build_project
 from repro.analysis.rules import (
     DeterminismRule,
     DocstringRule,
+    DtypeTierRule,
     ExceptionHygieneRule,
     LayeringRule,
     LayerSpec,
     LinkRule,
     LockDisciplineRule,
+    LockOrderRule,
+    ResourceLifetimeRule,
     Rule,
+    SeedLineageRule,
     default_rules,
 )
-from repro.analysis.runner import CheckResult, run_check
+from repro.analysis.runner import CheckResult, explain_finding, run_check
 from repro.analysis.suppress import load_baseline, write_baseline
 
 __all__ = [
@@ -50,16 +59,24 @@ __all__ = [
     "ProjectModel",
     "SourceFile",
     "build_project",
+    "DataflowModel",
+    "WitnessStep",
+    "get_dataflow",
     "Rule",
     "DeterminismRule",
     "LayeringRule",
     "LayerSpec",
     "LockDisciplineRule",
+    "LockOrderRule",
+    "SeedLineageRule",
+    "DtypeTierRule",
+    "ResourceLifetimeRule",
     "ExceptionHygieneRule",
     "DocstringRule",
     "LinkRule",
     "default_rules",
     "CheckResult",
+    "explain_finding",
     "run_check",
     "load_baseline",
     "write_baseline",

@@ -10,7 +10,11 @@ unrelated edits that shift line numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.analysis.dataflow import WitnessStep
 
 #: A finding that must fail the build.
 SEVERITY_ERROR = "error"
@@ -28,6 +32,10 @@ class Finding:
     rule: str
     message: str
     severity: str = SEVERITY_ERROR
+    #: The dataflow path behind the finding (``--explain`` / SARIF
+    #: relatedLocations). Excluded from equality/ordering so identical
+    #: findings still de-duplicate whatever trail produced them.
+    witness: "tuple[WitnessStep, ...]" = field(default=(), compare=False)
 
     @property
     def fingerprint(self) -> str:
@@ -36,13 +44,19 @@ class Finding:
 
     def as_dict(self) -> dict:
         """A JSON-serialisable view (the ``--format json`` entry)."""
-        return {
+        payload = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "severity": self.severity,
             "message": self.message,
         }
+        if self.witness:
+            payload["witness"] = [
+                {"path": step.path, "line": step.line, "note": step.note}
+                for step in self.witness
+            ]
+        return payload
 
     def render(self) -> str:
         """The one-line text form: ``path:line: [rule] message``."""

@@ -16,10 +16,13 @@ runner owns ordering, suppression, and rendering.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.analysis.findings import Finding
 from repro.analysis.model import ProjectModel, SourceFile
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.analysis.dataflow import WitnessStep
 
 
 class Rule:
@@ -31,6 +34,10 @@ class Rule:
     #: One-line summary shown in ``repro check --help`` style listings.
     description: str = ""
 
+    #: Bumped whenever the rule's findings can change for unchanged
+    #: sources; part of the incremental cache key.
+    version: int = 1
+
     def check_file(
         self, source: SourceFile, model: ProjectModel
     ) -> Iterable[Finding]:
@@ -41,8 +48,18 @@ class Rule:
         """Findings over the whole project model (default: none)."""
         return ()
 
-    def finding(self, relpath: str, line: int, message: str) -> Finding:
+    def finding(
+        self,
+        relpath: str,
+        line: int,
+        message: str,
+        witness: "Iterable[WitnessStep]" = (),
+    ) -> Finding:
         """Convenience constructor stamping this rule's id."""
         return Finding(
-            path=relpath, line=line, rule=self.rule_id, message=message
+            path=relpath,
+            line=line,
+            rule=self.rule_id,
+            message=message,
+            witness=tuple(witness),
         )

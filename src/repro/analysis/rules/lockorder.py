@@ -1,0 +1,432 @@
+"""``lock-order`` — the global lock-acquisition graph must be acyclic.
+
+The serving stack nests locks: ``RecommendationService._lock`` is held
+while the breaker resets and gauges update, the breaker's RLock is held
+while transition listeners fire, every metrics instrument has its own
+lock. The PR-5 ``locks`` rule checks each class in isolation; this rule
+builds the *cross-class* acquisition graph over the dataflow layer:
+
+- **nodes** are lock-owning classes (``self._lock = threading.Lock()``
+  or ``RLock()`` anywhere in the MRO's ``__init__``);
+- **edges** ``A -> B`` mean a method of ``A``, while holding ``A``'s
+  lock (directly or through same-class helpers), calls into a method of
+  ``B`` that (transitively within ``B``) acquires ``B``'s lock;
+- a **cycle** means two threads entering from opposite ends can
+  deadlock — flagged with the full call-chain witness;
+- a helper method that mutates guarded attributes *without* acquiring
+  is additionally flagged when the call graph reaches it both from a
+  locked and from an unlocked context (the interprocedural
+  generalisation of the per-file mixed-guard check).
+
+Dynamic calls (callbacks, ``getattr``) resolve to unknown and create no
+edges — the graph under-approximates, so every reported cycle is real
+in the resolved call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.dataflow import (
+    ClassInfo,
+    DataflowModel,
+    FunctionInfo,
+    WitnessStep,
+    body_statements,
+    dotted_parts,
+    get_dataflow,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel
+from repro.analysis.rules.base import Rule
+
+#: Canonical lock constructors that make a class lock-owning.
+LOCK_TYPES = {"threading.Lock", "threading.RLock"}
+
+#: The guarded-lock attribute name (the repo-wide convention).
+LOCK_ATTR = "_lock"
+
+#: Methods allowed to touch guarded state before the object escapes.
+CONSTRUCTOR_METHODS = {"__init__", "__new__", "__post_init__"}
+
+#: Suffix marking a helper whose caller must already hold the lock.
+LOCKED_SUFFIX = "_locked"
+
+
+class LockOrderRule(Rule):
+    """Flag lock-acquisition cycles and cross-call guard inconsistency."""
+
+    rule_id = "lock-order"
+    description = (
+        "cross-class lock acquisition graph must be acyclic; guarded "
+        "attributes must not be reachable locked and unlocked"
+    )
+    version = 1
+
+    def check_project(self, model: ProjectModel) -> Iterable[Finding]:
+        """Lock-order cycles and mixed-reachability mutations project-wide."""
+        df = get_dataflow(model)
+        owners = _lock_owners(df)
+        acquires = {
+            key: _acquiring_methods(df, info)
+            for key, info in owners.items()
+        }
+        edges: dict[str, dict[str, tuple[WitnessStep, ...]]] = {}
+        for key, info in owners.items():
+            for target, witness in self._class_edges(
+                df, owners, acquires, key, info
+            ):
+                edges.setdefault(key, {}).setdefault(target, witness)
+        yield from self._cycle_findings(df, owners, edges)
+        for key, info in owners.items():
+            yield from self._mixed_reachability(df, owners, key, info)
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+
+    def _class_edges(
+        self,
+        df: DataflowModel,
+        owners: dict[str, ClassInfo],
+        acquires: dict[str, set[str]],
+        key: str,
+        info: ClassInfo,
+    ):
+        for method in _own_methods(df, info):
+            for region_line, call in _locked_calls(df, info, method):
+                for edge in self._edge_targets(
+                    df, owners, acquires, key, method, region_line, call,
+                    set(),
+                ):
+                    yield edge
+
+    def _edge_targets(
+        self,
+        df: DataflowModel,
+        owners: dict[str, ClassInfo],
+        acquires: dict[str, set[str]],
+        key: str,
+        method: FunctionInfo,
+        region_line: int,
+        call: ast.Call,
+        visited: set[str],
+    ):
+        env = df.function_env(method)
+        for target in df.call_targets(method, call, env):
+            owner_key, method_name = _split_method(target, owners)
+            if owner_key is None:
+                continue
+            if owner_key == key:
+                # Same-class helper: the lock is still held inside it,
+                # so its outgoing calls extend the region.
+                helper = df.resolve_method(owner_key, method_name)
+                if helper is None or helper.canonical in visited:
+                    continue
+                visited.add(helper.canonical)
+                for inner in _calls_in(helper):
+                    yield from self._edge_targets(
+                        df, owners, acquires, key, helper, region_line,
+                        inner, visited,
+                    )
+                continue
+            if method_name in acquires.get(owner_key, set()):
+                witness = (
+                    WitnessStep(
+                        method.source.relpath,
+                        region_line,
+                        f"{method.qualname}() holds "
+                        f"{_short(key)}.{LOCK_ATTR}",
+                    ),
+                    WitnessStep(
+                        method.source.relpath,
+                        call.lineno,
+                        f"calls {_short(owner_key)}.{method_name}() "
+                        "while holding it",
+                    ),
+                    WitnessStep(
+                        owners[owner_key].source.relpath,
+                        owners[owner_key].node.lineno,
+                        f"{_short(owner_key)}.{method_name}() acquires "
+                        f"{_short(owner_key)}.{LOCK_ATTR}",
+                    ),
+                )
+                yield owner_key, witness
+
+    def _cycle_findings(
+        self,
+        df: DataflowModel,
+        owners: dict[str, ClassInfo],
+        edges: dict[str, dict[str, tuple[WitnessStep, ...]]],
+    ) -> Iterable[Finding]:
+        for cycle in _find_cycles(edges):
+            first = cycle[0]
+            info = owners[first]
+            chain = " -> ".join(_short(key) for key in (*cycle, first))
+            witness: list[WitnessStep] = []
+            for index, node in enumerate(cycle):
+                successor = cycle[(index + 1) % len(cycle)]
+                witness.extend(edges[node][successor])
+            yield self.finding(
+                info.source.relpath,
+                info.node.lineno,
+                f"lock-order cycle {chain}: two threads entering from "
+                "opposite ends can deadlock",
+                witness=tuple(witness),
+            )
+
+    # ------------------------------------------------------------------
+    # interprocedural mixed locked/unlocked mutation
+    # ------------------------------------------------------------------
+
+    def _mixed_reachability(
+        self,
+        df: DataflowModel,
+        owners: dict[str, ClassInfo],
+        key: str,
+        info: ClassInfo,
+    ) -> Iterable[Finding]:
+        methods = list(_own_methods(df, info))
+        # Helpers that mutate guarded attrs without acquiring and
+        # without the caller-holds-lock suffix.
+        for method in methods:
+            if (
+                method.name in CONSTRUCTOR_METHODS
+                or method.name.endswith(LOCKED_SUFFIX)
+            ):
+                continue
+            if _acquires_directly(method):
+                continue
+            mutated = _unguarded_mutations(method)
+            if not mutated:
+                continue
+            locked_caller = _caller_context(df, info, method, locked=True)
+            unlocked_caller = _caller_context(
+                df, info, method, locked=False
+            )
+            if locked_caller is None or unlocked_caller is None:
+                continue
+            attr, line = mutated[0]
+            yield self.finding(
+                method.source.relpath,
+                line,
+                f"self.{attr} is mutated without {_short(key)}."
+                f"{LOCK_ATTR} in {method.name}(), which the call graph "
+                f"reaches both with the lock held "
+                f"({locked_caller[0]}:{locked_caller[1]}) and without "
+                f"it ({unlocked_caller[0]}:{unlocked_caller[1]})",
+                witness=(
+                    WitnessStep(
+                        method.source.relpath,
+                        line,
+                        f"unguarded mutation of self.{attr} in "
+                        f"{method.qualname}()",
+                    ),
+                    WitnessStep(
+                        method.source.relpath,
+                        locked_caller[1],
+                        f"reached with the lock held from "
+                        f"{locked_caller[2]}()",
+                    ),
+                    WitnessStep(
+                        method.source.relpath,
+                        unlocked_caller[1],
+                        f"reached without the lock from "
+                        f"{unlocked_caller[2]}()",
+                    ),
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def _lock_owners(df: DataflowModel) -> dict[str, ClassInfo]:
+    """Classes whose MRO ``__init__`` assigns a ``threading`` lock."""
+    owners: dict[str, ClassInfo] = {}
+    for key, info in df.classes.items():
+        for mro_info in df.mro(key):
+            init = df.functions.get(f"{mro_info.key}.__init__")
+            if init is None:
+                continue
+            env = df.function_env(init)
+            prov = env.get(f"self.{LOCK_ATTR}")
+            if prov is not None and prov.origin.startswith("call:"):
+                if prov.origin[5:] in LOCK_TYPES:
+                    # Attribute the lock to the class that defines it so
+                    # subclasses share one graph node.
+                    owners[mro_info.key] = mro_info
+                    break
+    return owners
+
+
+def _own_methods(df: DataflowModel, info: ClassInfo):
+    for name in sorted(info.methods):
+        fi = df.functions.get(info.methods[name])
+        if fi is not None:
+            yield fi
+
+
+def _acquires_directly(method: FunctionInfo) -> bool:
+    for stmt in body_statements(method.node):
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                parts = dotted_parts(item.context_expr)
+                if parts == ["self", LOCK_ATTR]:
+                    return True
+    return False
+
+
+def _acquiring_methods(df: DataflowModel, info: ClassInfo) -> set[str]:
+    """Method names that (transitively within the class) take the lock."""
+    direct: set[str] = set()
+    calls: dict[str, set[str]] = {}
+    for method in _own_methods(df, info):
+        if _acquires_directly(method):
+            direct.add(method.name)
+        names: set[str] = set()
+        for call in _calls_in(method):
+            parts = dotted_parts(call.func)
+            if parts is not None and len(parts) == 2 and parts[0] == "self":
+                names.add(parts[1])
+        calls[method.name] = names
+    acquired = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in calls.items():
+            if name not in acquired and callees & acquired:
+                acquired.add(name)
+                changed = True
+    return acquired
+
+
+def _calls_in(method: FunctionInfo):
+    for stmt in body_statements(method.node):
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+def _locked_calls(df: DataflowModel, info: ClassInfo, method: FunctionInfo):
+    """``(region line, call)`` pairs inside ``with self._lock`` bodies."""
+    for stmt in body_statements(method.node):
+        if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+            continue
+        if not any(
+            dotted_parts(item.context_expr) == ["self", LOCK_ATTR]
+            for item in stmt.items
+        ):
+            continue
+        for inner in stmt.body:
+            for node in ast.walk(inner):
+                if isinstance(node, ast.Call):
+                    yield stmt.lineno, node
+
+
+def _split_method(
+    canonical: str, owners: dict[str, ClassInfo]
+) -> tuple[str | None, str]:
+    """``module.Class.method`` split into (owner key, method name)."""
+    head, _, name = canonical.rpartition(".")
+    if head in owners:
+        return head, name
+    return None, name
+
+
+def _find_cycles(
+    edges: dict[str, dict[str, tuple]]
+) -> list[list[str]]:
+    """Elementary cycles via DFS (deduplicated by node set)."""
+    cycles: list[list[str]] = []
+    seen_sets: set[frozenset] = set()
+
+    def visit(node: str, path: list[str], on_path: set[str]) -> None:
+        for successor in sorted(edges.get(node, {})):
+            if successor in on_path:
+                start = path.index(successor)
+                cycle = path[start:]
+                key = frozenset(cycle)
+                if key not in seen_sets:
+                    seen_sets.add(key)
+                    cycles.append(cycle)
+                continue
+            if len(path) < 16:
+                visit(successor, path + [successor], on_path | {successor})
+
+    for start in sorted(edges):
+        visit(start, [start], {start})
+    return cycles
+
+
+def _unguarded_mutations(method: FunctionInfo) -> list[tuple[str, int]]:
+    """``(attr, line)`` for self-attr writes outside any lock region."""
+    locked_spans: list[tuple[int, int]] = []
+    for stmt in body_statements(method.node):
+        if isinstance(stmt, (ast.With, ast.AsyncWith)) and any(
+            dotted_parts(item.context_expr) == ["self", LOCK_ATTR]
+            for item in stmt.items
+        ):
+            locked_spans.append(
+                (stmt.lineno, stmt.end_lineno or stmt.lineno)
+            )
+    out: list[tuple[str, int]] = []
+    for stmt in body_statements(method.node):
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr != LOCK_ATTR
+            ):
+                line = stmt.lineno
+                if not any(a <= line <= b for a, b in locked_spans):
+                    out.append((target.attr, line))
+    return sorted(out, key=lambda item: item[1])
+
+
+def _caller_context(
+    df: DataflowModel,
+    info: ClassInfo,
+    method: FunctionInfo,
+    locked: bool,
+) -> tuple[str, int, str] | None:
+    """A same-class call site reaching ``method`` in the given context.
+
+    Returns ``(relpath, line, caller qualname)`` or ``None``. A call is
+    *locked* when it sits inside a ``with self._lock`` region or in a
+    ``*_locked`` helper; everything else is unlocked.
+    """
+    for caller in _own_methods(df, info):
+        if caller.canonical == method.canonical:
+            continue
+        locked_lines: set[int] = set()
+        for region_line, call in _locked_calls(df, info, caller):
+            locked_lines.add(call.lineno)
+        caller_locked_context = caller.name.endswith(LOCKED_SUFFIX)
+        for call in _calls_in(caller):
+            parts = dotted_parts(call.func)
+            if parts != ["self", method.name]:
+                continue
+            is_locked = (
+                call.lineno in locked_lines or caller_locked_context
+            )
+            if is_locked == locked:
+                return (
+                    caller.source.relpath,
+                    call.lineno,
+                    caller.qualname,
+                )
+    return None
+
+
+def _short(class_key: str) -> str:
+    return class_key.rsplit(".", 1)[-1]

@@ -147,30 +147,32 @@ def load_bpr(
     # swap that cannot read its candidate keeps serving the old model.
     fault_check("io.read")
     try:
-        archive = np.load(path, allow_pickle=False)
-        version = int(archive["format_version"][0])
-        if version != BPR_FORMAT_VERSION:
-            raise ArtefactVersionError(
-                f"{path} has BPR format version {version}; this build reads "
-                f"version {BPR_FORMAT_VERSION}"
+        with np.load(path, allow_pickle=False) as archive:
+            version = int(archive["format_version"][0])
+            if version != BPR_FORMAT_VERSION:
+                raise ArtefactVersionError(
+                    f"{path} has BPR format version {version}; this build "
+                    f"reads version {BPR_FORMAT_VERSION}"
+                )
+            config = BPRConfig(**json.loads(str(archive["config"][0])))
+            model = BPR(config)
+            users = Indexer(str(u) for u in archive["user_ids"])
+            items = Indexer(int(i) for i in archive["item_ids"])
+            indptr = archive["train_indptr"]
+            indices = archive["train_indices"]
+            data = archive["train_data"]
+            _validate_csr_triplet(
+                path, indptr, indices, data, len(users), len(items)
             )
-        config = BPRConfig(**json.loads(str(archive["config"][0])))
-        model = BPR(config)
-        users = Indexer(str(u) for u in archive["user_ids"])
-        items = Indexer(int(i) for i in archive["item_ids"])
-        indptr = archive["train_indptr"]
-        indices = archive["train_indices"]
-        data = archive["train_data"]
-        _validate_csr_triplet(path, indptr, indices, data, len(users), len(items))
-        from scipy import sparse
+            from scipy import sparse
 
-        csr = sparse.csr_matrix(
-            (data, indices, indptr), shape=(len(users), len(items))
-        )
-        train = InteractionMatrix(users, items, csr)
-        model._train = train
-        model._user_factors = archive["user_factors"]
-        model._item_factors = archive["item_factors"]
+            csr = sparse.csr_matrix(
+                (data, indices, indptr), shape=(len(users), len(items))
+            )
+            train = InteractionMatrix(users, items, csr)
+            model._train = train
+            model._user_factors = archive["user_factors"]
+            model._item_factors = archive["item_factors"]
     except (KeyError, ValueError, OSError) as exc:
         raise PersistenceError(f"cannot load BPR model from {path}: {exc}") from exc
     if model._user_factors.shape != (len(users), config.n_factors):

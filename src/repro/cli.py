@@ -43,8 +43,12 @@ Commands:
   equivalence, recall@k-vs-latency across IVF probe widths, Zipf
   replay through the shard store) and write ``BENCH_serve.json``.
 - ``check [paths]`` — run the static analyzer (determinism, layering,
-  lock discipline, exception hygiene, docs integrity) over the given
-  paths (default ``src``); exits 1 when findings survive suppression.
+  lock discipline, seed lineage, dtype tiers, lock ordering, resource
+  lifetimes, exception hygiene, docs integrity) over the given paths
+  (default ``src``); exits 1 when findings survive suppression. Warm
+  re-runs hit the incremental cache (``--no-cache`` to bypass); output
+  formats are text, JSON, and SARIF 2.1.0, and ``--explain
+  <fingerprint>`` prints a finding's interprocedural witness path.
 
 The global ``--jobs N`` flag parallelises the merge pipeline and the
 grid search across N worker processes; results are bit-identical to
@@ -328,7 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src)",
     )
     check.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     check.add_argument(
@@ -346,6 +350,15 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--root", default=None, metavar="DIR",
         help="repository root (default: auto-detected from the first path)",
+    )
+    check.add_argument(
+        "--explain", default=None, metavar="FINGERPRINT",
+        help="print the witness path of one finding (any unique "
+        "fingerprint prefix) instead of the report",
+    )
+    check.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the incremental cache under .cache/repro-check/",
     )
     return parser
 
@@ -412,10 +425,13 @@ def _render_result(result: object) -> str:
 def _write_result(directory: str, name: str, result: object) -> None:
     from pathlib import Path
 
+    from repro.resilience.artefacts import atomic_write
+
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
     path = target / f"{name}.txt"
-    path.write_text(_render_result(result) + "\n", encoding="utf-8")
+    with atomic_write(path, "w", encoding="utf-8") as handle:
+        handle.write(_render_result(result) + "\n")
     print(f"(written to {path})")
 
 
@@ -613,26 +629,46 @@ def _check(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis import run_check, write_baseline
+    from repro.analysis.cache import CACHE_DIRNAME
+    from repro.analysis.runner import detect_root, explain_finding
 
+    path_list = [Path(p) for p in args.paths]
+    resolved_root = (
+        Path(args.root).resolve() if args.root else detect_root(path_list)
+    )
+    cache_dir = None if args.no_cache else resolved_root / CACHE_DIRNAME
     try:
         result = run_check(
             args.paths,
-            root=args.root,
+            root=resolved_root,
             rule_ids=args.rule,
             baseline=args.baseline,
+            cache_dir=cache_dir,
         )
     except ValueError as exc:
         print(f"check: {exc}", file=sys.stderr)
         return 2
+    if args.explain:
+        explanation = explain_finding(result, args.explain)
+        if explanation is None:
+            print(
+                f"check: no finding matches fingerprint {args.explain!r}",
+                file=sys.stderr,
+            )
+            return 2
+        print(explanation)
+        return 0
     if args.write_baseline:
-        write_baseline(result.findings, Path(args.write_baseline))
+        write_baseline(result.all_findings, Path(args.write_baseline))
         print(
             f"baseline written to {args.write_baseline} "
-            f"({len(result.findings)} finding(s))"
+            f"({len(result.all_findings)} finding(s))"
         )
         return 0
     if args.format == "json":
         print(result.render_json())
+    elif args.format == "sarif":
+        print(result.render_sarif())
     else:
         print(result.render_text())
     return 0 if result.ok else 1

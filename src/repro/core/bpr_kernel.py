@@ -101,6 +101,7 @@ def sample_unseen(
     return candidates
 
 
+# repro: tier[float32]
 def predraw_candidates(
     users: np.ndarray,
     seen_keys: np.ndarray,
@@ -170,6 +171,7 @@ def stable_neg_sigmoid(x: np.ndarray) -> np.ndarray:
 # ----------------------------------------------------------------------
 
 
+# repro: tier[float32]
 def scatter_add(
     target: np.ndarray, indices: np.ndarray, updates: np.ndarray
 ) -> None:
@@ -211,6 +213,7 @@ def _apply_updates_reference(
     np.add.at(P, negatives, lr * (-w * Vu - reg * P[negatives]))
 
 
+# repro: tier[float32]
 def _apply_updates_fast(
     V: np.ndarray,
     P: np.ndarray,
@@ -308,6 +311,7 @@ def train_batch_reference(
     return float(trials[resolved].sum()), int(resolved.sum())
 
 
+# repro: tier[float32]
 def train_batch_fast(
     V: np.ndarray,
     P: np.ndarray,

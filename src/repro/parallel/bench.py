@@ -36,6 +36,7 @@ from repro.eval.grid import grid_search_bpr
 from repro.eval.split import split_readings
 from repro.perf.timer import Timer, best_of
 from repro.pipeline.merge import MergeConfig, build_merged_dataset
+from repro.resilience.artefacts import atomic_write
 from repro.text.embedder import HashedTfidfEmbedder
 from repro.text.summary import MetadataSummaryBuilder
 
@@ -123,7 +124,8 @@ def run_parallel_bench(
 
     if output_path is not None:
         path = Path(output_path)
-        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        with atomic_write(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, indent=2) + "\n")
         report["output_path"] = str(path)
     return report
 

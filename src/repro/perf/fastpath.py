@@ -37,6 +37,8 @@ from repro.eval.evaluator import evaluate_model
 from repro.eval.split import split_readings
 from repro.perf.timer import Timer, best_of, throughput
 from repro.pipeline.merge import MergeConfig, build_merged_dataset
+from repro.resilience.artefacts import atomic_write
+from repro.rng import make_rng
 from repro.text.embedder import HashedTfidfEmbedder
 from repro.text.similarity import (
     cosine_similarity_matrix,
@@ -67,7 +69,7 @@ class PrecomputedScores(Recommender):
         return "Precomputed Scores"
 
     def _fit(self, train, dataset) -> None:
-        rng = np.random.default_rng(self.seed)
+        rng = make_rng(self.seed)
         self._scores = rng.normal(size=(train.n_users, train.n_items))
 
     def score_users(self, user_indices: np.ndarray) -> np.ndarray:
@@ -149,7 +151,8 @@ def run_fastpath_bench(
 
     if output_path is not None:
         path = Path(output_path)
-        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        with atomic_write(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, indent=2) + "\n")
         report["output_path"] = str(path)
     return report
 

@@ -78,6 +78,9 @@ def reset_peak_rss() -> bool:
     per-phase reading.
     """
     try:
+        # /proc/self/clear_refs is a kernel control interface, not an
+        # artefact: atomic rename onto procfs is impossible by design.
+        # repro: allow[resource-lifetime] — kernel interface write
         with _CLEAR_REFS.open("w") as handle:
             handle.write("5")
     except OSError:

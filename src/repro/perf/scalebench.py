@@ -34,6 +34,7 @@ from repro.perf.rss import PhaseRss, measure_phase_rss
 from repro.perf.timer import Timer
 from repro.pipeline.merge import MergeConfig, build_merged_dataset
 from repro.pipeline.streaming import merge_sharded_corpus
+from repro.resilience.artefacts import atomic_write
 
 DEFAULT_OUTPUT = "BENCH_scale.json"
 
@@ -163,7 +164,8 @@ def run_scale_bench(
     }
     if output_path is not None:
         output_path = Path(output_path)
-        output_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        with atomic_write(output_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, indent=2) + "\n")
         report["output_path"] = str(output_path)
     return report
 

@@ -52,6 +52,7 @@ from repro.datasets.world import WorldConfig
 from repro.eval.split import split_readings
 from repro.perf.timer import Timer
 from repro.pipeline.merge import MergeConfig, build_merged_dataset
+from repro.resilience.artefacts import atomic_write
 from repro.retrieval.ivf import IVFIndex, default_probe_cells, recall_at_k
 from repro.retrieval.shards import UserShardStore, write_user_shards
 from repro.rng import derive_rng
@@ -253,7 +254,8 @@ def run_serve_bench(
 
     if output_path is not None:
         path = Path(output_path)
-        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        with atomic_write(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, indent=2) + "\n")
         report["output_path"] = str(path)
     return report
 

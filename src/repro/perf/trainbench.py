@@ -37,6 +37,7 @@ from repro.eval.evaluator import evaluate_model
 from repro.eval.split import split_readings
 from repro.perf.timer import Timer
 from repro.pipeline.merge import MergeConfig, build_merged_dataset
+from repro.resilience.artefacts import atomic_write
 
 DEFAULT_OUTPUT = "BENCH_train.json"
 
@@ -142,7 +143,8 @@ def run_train_bench(
 
     if output_path is not None:
         path = Path(output_path)
-        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        with atomic_write(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, indent=2) + "\n")
         report["output_path"] = str(path)
     return report
 

@@ -232,3 +232,19 @@ class UserShardStore:
                 "loads": self.loads,
                 "evictions": self.evictions,
             }
+
+    def close(self) -> None:
+        """Drop every resident memmap so the mappings can be reclaimed.
+
+        The store stays usable afterwards — the next access simply
+        reloads its shard — so ``close()`` is idempotent and safe to
+        call from ``__exit__`` even while requests are in flight.
+        """
+        with self._lock:
+            self._resident.clear()
+
+    def __enter__(self) -> "UserShardStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

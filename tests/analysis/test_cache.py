@@ -1,0 +1,148 @@
+"""Incremental cache: hits are parse-free and byte-identical.
+
+The cache keys post-pragma findings on the analyzed sources' digests
+and the active rules' versions (:mod:`repro.analysis.cache`); these
+tests pin the hit/miss contract end to end through ``run_check``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_check
+from repro.analysis.rules.seedlineage import SeedLineageRule
+
+from .conftest import build_tree
+
+PKG = {"pkg/__init__.py": '"""Fixture package."""\n'}
+
+RULE = ["seed-lineage"]
+
+MOD = '''\
+    """Mod."""
+
+    import numpy as np
+
+    def draw():
+        """Draw."""
+        return np.random.default_rng(7)
+
+    def other():
+        """Other."""
+        # repro: allow[seed-lineage] — fixture justification
+        return np.random.default_rng(8)
+'''
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A fixture package with one live and one suppressed finding."""
+    return build_tree(tmp_path / "proj", {**PKG, "pkg/mod.py": MOD})
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+def check(tree, cache_dir, **kwargs):
+    return run_check(
+        [tree], root=tree, rule_ids=RULE, cache_dir=cache_dir, **kwargs
+    )
+
+
+class TestHits:
+    def test_warm_run_is_byte_identical(self, tree, cache_dir):
+        cold = check(tree, cache_dir)
+        warm = check(tree, cache_dir)
+        assert not cold.from_cache
+        assert warm.from_cache
+        assert warm.render_text() == cold.render_text()
+        assert warm.render_json() == cold.render_json()
+        assert warm.render_sarif() == cold.render_sarif()
+        assert warm.suppressed == cold.suppressed == 1
+
+    def test_hit_restores_witness_trails(self, tmp_path, cache_dir):
+        tree = build_tree(tmp_path / "proj", {**PKG, "pkg/mod.py": '''\
+            """Mod."""
+
+            import numpy as np
+
+            def draw():
+                """Draw."""
+                rng = np.random.default_rng(1234)
+                return helper(rng)
+
+            def helper(gen):
+                """Help."""
+                return gen.integers(0, 10)
+        '''})
+        cold = check(tree, cache_dir)
+        warm = check(tree, cache_dir)
+        assert warm.from_cache
+        assert [f.witness for f in warm.findings] == [
+            f.witness for f in cold.findings
+        ]
+        assert any(f.witness for f in warm.findings)
+
+    def test_hit_path_never_parses(self, tree, cache_dir, monkeypatch):
+        check(tree, cache_dir)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("cache hit rebuilt the project model")
+
+        monkeypatch.setattr("repro.analysis.runner.build_project", boom)
+        assert check(tree, cache_dir).from_cache
+
+    def test_entry_lands_in_the_cache_dir(self, tree, cache_dir):
+        check(tree, cache_dir)
+        assert list(cache_dir.glob("*.json"))
+
+
+class TestMisses:
+    def test_no_cache_dir_disables_caching(self, tree, cache_dir):
+        check(tree, cache_dir)  # prime
+        result = run_check([tree], root=tree, rule_ids=RULE, cache_dir=None)
+        assert not result.from_cache
+
+    def test_source_edit_invalidates(self, tree, cache_dir):
+        check(tree, cache_dir)
+        mod = tree / "pkg" / "mod.py"
+        mod.write_text(
+            mod.read_text(encoding="utf-8") + "\n# trailing comment\n",
+            encoding="utf-8",
+        )
+        assert not check(tree, cache_dir).from_cache
+
+    def test_pragma_edit_invalidates(self, tree, cache_dir):
+        """Suppression lives inside the cache key, not on top of it."""
+        cold = check(tree, cache_dir)
+        assert len(cold.findings) == 1
+        mod = tree / "pkg" / "mod.py"
+        mod.write_text(
+            mod.read_text(encoding="utf-8").replace(
+                "return np.random.default_rng(7)",
+                "return np.random.default_rng(7)  "
+                "# repro: allow[seed-lineage] — fixture justification",
+            ),
+            encoding="utf-8",
+        )
+        edited = check(tree, cache_dir)
+        assert not edited.from_cache
+        assert edited.ok
+        assert edited.suppressed == 2
+
+    def test_rule_version_bump_invalidates(
+        self, tree, cache_dir, monkeypatch
+    ):
+        check(tree, cache_dir)
+        monkeypatch.setattr(SeedLineageRule, "version", 999)
+        assert not check(tree, cache_dir).from_cache
+
+    def test_corrupt_entry_is_a_silent_miss(self, tree, cache_dir):
+        check(tree, cache_dir)
+        for entry in cache_dir.glob("*.json"):
+            entry.write_text("{not json", encoding="utf-8")
+        result = check(tree, cache_dir)
+        assert not result.from_cache
+        assert len(result.findings) == 1

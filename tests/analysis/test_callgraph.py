@@ -1,0 +1,272 @@
+"""Edge cases of the interprocedural call graph in ``dataflow``.
+
+The resolver must stay *sound for its consumers*: whenever a callee
+cannot be identified (dynamic dispatch, unresolvable receivers), it
+returns no targets rather than a wrong one, so the dataflow rules
+degrade silently instead of producing a false finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import build_project, get_dataflow, run_check
+
+from .conftest import build_tree
+
+
+def make_df(tmp_path: Path, files: dict[str, str]):
+    build_tree(tmp_path, files)
+    model = build_project([tmp_path], tmp_path)
+    return get_dataflow(model)
+
+
+def calls_in(df, key):
+    fi = df.functions[key]
+    env = df.function_env(fi)
+    out = []
+    for node in ast.walk(fi.node):
+        if isinstance(node, ast.Call):
+            out.extend(df.call_targets(fi, node, env))
+    return out
+
+
+PKG = {"pkg/__init__.py": '"""Fixture package."""\n'}
+
+
+class TestAliasedImports:
+    def test_module_alias_resolves(self, tmp_path):
+        df = make_df(tmp_path, {
+            **PKG,
+            "pkg/util.py": '''\
+                """Util."""
+
+                def helper():
+                    """Help."""
+            ''',
+            "pkg/user.py": '''\
+                """User."""
+
+                import pkg.util as u
+
+                def caller():
+                    """Call."""
+                    u.helper()
+            ''',
+        })
+        assert "pkg.util.helper" in calls_in(df, "pkg.user.caller")
+
+    def test_from_import_alias_resolves(self, tmp_path):
+        df = make_df(tmp_path, {
+            **PKG,
+            "pkg/util.py": '''\
+                """Util."""
+
+                def helper():
+                    """Help."""
+            ''',
+            "pkg/user.py": '''\
+                """User."""
+
+                from pkg.util import helper as h
+
+                def caller():
+                    """Call."""
+                    h()
+            ''',
+        })
+        assert "pkg.util.helper" in calls_in(df, "pkg.user.caller")
+
+
+class TestFacadeReExports:
+    def test_call_through_package_facade_resolves(self, tmp_path):
+        df = make_df(tmp_path, {
+            "pkg/__init__.py": '''\
+                """Facade re-exporting the implementation."""
+
+                from pkg.impl import helper
+            ''',
+            "pkg/impl.py": '''\
+                """Impl."""
+
+                def helper():
+                    """Help."""
+            ''',
+            "pkg/user.py": '''\
+                """User."""
+
+                from pkg import helper
+
+                def caller():
+                    """Call."""
+                    helper()
+            ''',
+        })
+        assert "pkg.impl.helper" in calls_in(df, "pkg.user.caller")
+
+
+class TestInheritance:
+    def test_inherited_method_resolves_to_base(self, tmp_path):
+        df = make_df(tmp_path, {
+            **PKG,
+            "pkg/classes.py": '''\
+                """Classes."""
+
+                class Base:
+                    """Base."""
+
+                    def shared(self):
+                        """Shared."""
+
+                class Child(Base):
+                    """Child."""
+
+                    def caller(self):
+                        """Call."""
+                        self.shared()
+            ''',
+        })
+        assert "pkg.classes.Base.shared" in calls_in(
+            df, "pkg.classes.Child.caller"
+        )
+
+    def test_override_wins_over_base(self, tmp_path):
+        df = make_df(tmp_path, {
+            **PKG,
+            "pkg/classes.py": '''\
+                """Classes."""
+
+                class Base:
+                    """Base."""
+
+                    def shared(self):
+                        """Shared."""
+
+                class Child(Base):
+                    """Child."""
+
+                    def shared(self):
+                        """Override."""
+
+                    def caller(self):
+                        """Call."""
+                        self.shared()
+            ''',
+        })
+        targets = calls_in(df, "pkg.classes.Child.caller")
+        assert "pkg.classes.Child.shared" in targets
+        assert "pkg.classes.Base.shared" not in targets
+
+    def test_method_on_attribute_of_declared_class(self, tmp_path):
+        df = make_df(tmp_path, {
+            **PKG,
+            "pkg/classes.py": '''\
+                """Classes."""
+
+                class Inner:
+                    """Inner."""
+
+                    def work(self):
+                        """Work."""
+
+                class Outer:
+                    """Outer."""
+
+                    def __init__(self):
+                        """Init."""
+                        self.inner = Inner()
+
+                    def caller(self):
+                        """Call."""
+                        self.inner.work()
+            ''',
+        })
+        assert "pkg.classes.Inner.work" in calls_in(
+            df, "pkg.classes.Outer.caller"
+        )
+
+
+class TestDynamicDegradesToUnknown:
+    """Unresolvable calls yield zero targets — never a wrong one."""
+
+    @pytest.mark.parametrize("body", [
+        "getattr(obj, name)()",
+        "handlers[key]()",
+        "factory()()",
+        "(lambda: 1)()",
+    ])
+    def test_dynamic_call_has_no_targets(self, tmp_path, body):
+        df = make_df(tmp_path, {
+            **PKG,
+            "pkg/dyn.py": f'''\
+                """Dyn."""
+
+                def caller(obj, name, handlers, key, factory):
+                    """Call."""
+                    {body}
+            ''',
+        })
+        # Builtins like ``getattr`` may resolve by name; what matters
+        # is that no *project* function is ever wrongly targeted.
+        assert not [
+            t for t in calls_in(df, "pkg.dyn.caller") if t.startswith("pkg.")
+        ]
+
+    def test_closure_and_lambda_never_produce_findings(self, tmp_path):
+        """Higher-order plumbing must not trip any dataflow rule."""
+        result = run_check([tmp_path], root=build_tree(tmp_path, {
+            **PKG,
+            "pkg/hof.py": '''\
+                """Higher-order fixtures."""
+
+                def outer(seed):
+                    """Outer closes over seed."""
+                    def inner():
+                        """Inner."""
+                        return seed + 1
+                    return inner
+
+                TABLE = {"inner": outer}
+
+                def dispatch(name):
+                    """Dynamic dispatch through a table."""
+                    return TABLE[name](0)()
+
+                SQUARE = lambda x: x * x  # noqa: E731
+            ''',
+        }))
+        dataflow_rules = {
+            "seed-lineage", "dtype-tier", "lock-order", "resource-lifetime",
+        }
+        assert not [
+            f for f in result.findings if f.rule in dataflow_rules
+        ], "\n" + result.render_text()
+
+
+class TestCallersIndex:
+    def test_callers_is_the_inverse_of_call_targets(self, tmp_path):
+        df = make_df(tmp_path, {
+            **PKG,
+            "pkg/util.py": '''\
+                """Util."""
+
+                def helper():
+                    """Help."""
+            ''',
+            "pkg/user.py": '''\
+                """User."""
+
+                from pkg.util import helper
+
+                def caller():
+                    """Call."""
+                    helper()
+            ''',
+        })
+        callers = df.callers.get("pkg.util.helper", ())
+        assert any(
+            fi.canonical == "pkg.user.caller" for fi, _call in callers
+        )

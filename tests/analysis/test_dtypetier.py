@@ -1,0 +1,184 @@
+"""``dtype-tier``: flag/no-flag fixtures and a witness golden."""
+
+from __future__ import annotations
+
+PKG = {"pkg/__init__.py": '"""Fixture package."""\n'}
+
+RULE = ["dtype-tier"]
+
+
+def findings(check_tree, files):
+    return check_tree({**PKG, **files}, rule_ids=RULE).findings
+
+
+def tiered(body: str) -> dict[str, str]:
+    return {
+        "pkg/kern.py": f'''\
+            """Kern."""
+
+            import numpy as np
+
+
+            # repro: tier[float32]
+            def hot(V, P, idx):
+                """Hot path."""
+            {body}
+        ''',
+    }
+
+
+class TestAnnotationGating:
+    def test_unannotated_function_is_never_checked(self, check_tree):
+        assert not findings(check_tree, {
+            "pkg/kern.py": '''\
+                """Kern."""
+
+                import numpy as np
+
+                def cold(V, idx, updates):
+                    """Reference tier — float64 is fine here."""
+                    np.add.at(V, idx, updates)
+                    return np.zeros(4)
+            ''',
+        })
+
+    def test_add_at_flagged_inside_tier(self, check_tree):
+        found = findings(check_tree, tiered(
+            "    np.add.at(V, idx, P)"
+        ))
+        assert len(found) == 1
+        assert "np.add.at on a tier[float32] hot path" in found[0].message
+
+    def test_pragma_suppresses(self, check_tree):
+        result = check_tree({**PKG, **tiered(
+            "    np.add.at(V, idx, P)  "
+            "# repro: allow[dtype-tier] — fixture justification"
+        )}, rule_ids=RULE)
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestExplicitFloat64:
+    def test_dtype_kwarg_flagged(self, check_tree):
+        found = findings(check_tree, tiered(
+            "    return np.zeros(4, dtype=np.float64)"
+        ))
+        assert len(found) == 1
+        assert "explicit float64 dtype" in found[0].message
+
+    def test_astype_float64_flagged(self, check_tree):
+        found = findings(check_tree, tiered(
+            "    return V.astype(np.float64)"
+        ))
+        assert len(found) == 1
+        assert ".astype(float64) upcast" in found[0].message
+
+    def test_bare_constructor_flagged(self, check_tree):
+        found = findings(check_tree, tiered(
+            "    return np.zeros(4)"
+        ))
+        assert len(found) == 1
+        assert "without dtype= defaults to float64" in found[0].message
+
+    def test_float32_constructor_clean(self, check_tree):
+        assert not findings(check_tree, tiered(
+            "    return np.zeros(4, dtype=np.float32)"
+        ))
+
+
+class TestBincountAdaptation:
+    def test_unwrapped_bincount_flagged(self, check_tree):
+        found = findings(check_tree, tiered(
+            "    return np.bincount(idx, weights=P, minlength=4)"
+        ))
+        assert len(found) == 1
+        assert "np.bincount accumulates in float64" in found[0].message
+
+    def test_adapted_bincount_clean(self, check_tree):
+        assert not findings(check_tree, tiered(
+            "    return np.bincount(idx, weights=P, minlength=4)"
+            ".astype(V.dtype)"
+        ))
+
+
+class TestPromotionFlow:
+    def test_division_result_into_matmul_flagged(self, check_tree):
+        found = findings(check_tree, tiered(
+            "    scale = V / 3\n"
+            "                return np.dot(scale, P)"
+        ))
+        assert len(found) == 1
+        assert (
+            "float64 operand `scale` flows into dot()" in found[0].message
+        )
+
+    def test_witness_names_promotion_and_sink(self, check_tree):
+        (finding,) = findings(check_tree, tiered(
+            "    scale = V / 3\n"
+            "                return np.dot(scale, P)"
+        ))
+        notes = [step.note for step in finding.witness]
+        assert notes == [
+            "`scale` becomes float64 here",
+            "`scale` reaches dot() unadapted",
+        ]
+
+    def test_adapted_operand_is_clean(self, check_tree):
+        assert not findings(check_tree, tiered(
+            "    scale = (V / 3).astype(np.float32)\n"
+            "                return np.dot(scale, P)"
+        ))
+
+    def test_matmul_operator_flagged(self, check_tree):
+        found = findings(check_tree, tiered(
+            "    scale = V / 3\n"
+            "                return scale @ P"
+        ))
+        assert len(found) == 1
+        assert "flows into @()" in found[0].message
+
+    def test_unknown_dtype_never_flags(self, check_tree):
+        """Parameters have unknown dtype — the rule must stay silent."""
+        assert not findings(check_tree, tiered(
+            "    return np.dot(V, P)"
+        ))
+
+    def test_f64_crossing_into_annotated_peer_flagged(self, check_tree):
+        found = findings(check_tree, {
+            "pkg/kern.py": '''\
+                """Kern."""
+
+                import numpy as np
+
+
+                # repro: tier[float32]
+                def caller(V, P):
+                    """Caller."""
+                    scale = V / 3
+                    return callee(scale, P)
+
+
+                # repro: tier[float32]
+                def callee(a, b):
+                    """Callee."""
+                    return np.dot(a, b)
+            ''',
+        })
+        assert len(found) == 1
+        assert "flows into callee()" in found[0].message
+
+
+class TestRealKernelStaysClean:
+    def test_shipping_bpr_kernel_is_promotion_free(self, tmp_path):
+        """The annotated fast tier in src/ passes its own rule."""
+        from pathlib import Path
+
+        from repro.analysis import run_check
+
+        repo = Path(__file__).resolve().parents[2]
+        result = run_check(
+            [repo / "src" / "repro" / "core" / "bpr_kernel.py"],
+            root=repo,
+            rule_ids=RULE,
+        )
+        assert result.ok, "\n" + result.render_text()

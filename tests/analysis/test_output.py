@@ -51,7 +51,7 @@ class TestJsonSchema:
     def test_payload_shape(self, bad_tree, capsys):
         assert check(bad_tree, "--format", "json") == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["root"] == str(bad_tree)
         assert payload["files_checked"] == 1
         counts = payload["counts"]

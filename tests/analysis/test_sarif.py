@@ -1,0 +1,291 @@
+"""``--format sarif`` output validates against a SARIF 2.1.0 subset.
+
+CI has no ``jsonschema`` package, so this module carries its own small
+recursive validator plus an inlined subset of the SARIF 2.1.0 schema —
+the properties ``repro check`` actually emits, with the spec's types,
+required fields, and the ``level`` enum. The validator is self-tested
+against a deliberately broken log so a vacuous pass cannot hide.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runner import SARIF_SCHEMA, SARIF_VERSION, TOOL_NAME
+
+PKG = {"pkg/__init__.py": '"""Fixture package."""\n'}
+
+#: Interprocedural fixture: the finding carries a witness path, so the
+#: emitted SARIF exercises ``relatedLocations`` too.
+FILES = {
+    **PKG,
+    "pkg/mod.py": '''\
+        """Mod."""
+
+        import numpy as np
+
+        def draw():
+            """Draw."""
+            rng = np.random.default_rng(1234)
+            return helper(rng)
+
+        def helper(gen):
+            """Help."""
+            return gen.integers(0, 10)
+    ''',
+}
+
+
+# ----------------------------------------------------------------------
+# minimal JSON-Schema-style validator (subset: type/enum/required/
+# properties/items/additionalProperties/minimum)
+# ----------------------------------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def validation_errors(instance, schema, path="$") -> list[str]:
+    """Every way ``instance`` violates the schema subset."""
+    errors: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        wrong_bool = expected == "integer" and isinstance(instance, bool)
+        if wrong_bool or not isinstance(instance, python_type):
+            return [f"{path}: expected {expected}, got {type(instance).__name__}"]
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required property {key!r}")
+        properties = schema.get("properties", {})
+        for key, subschema in properties.items():
+            if key in instance:
+                errors.extend(
+                    validation_errors(
+                        instance[key], subschema, f"{path}.{key}"
+                    )
+                )
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, value in instance.items():
+                if key not in properties:
+                    errors.extend(
+                        validation_errors(value, extra, f"{path}.{key}")
+                    )
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            errors.extend(
+                validation_errors(
+                    item, schema["items"], f"{path}[{index}]"
+                )
+            )
+    if "minimum" in schema and isinstance(instance, int):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+    return errors
+
+
+_LOCATION_SCHEMA = {
+    "type": "object",
+    "required": ["physicalLocation"],
+    "properties": {
+        "physicalLocation": {
+            "type": "object",
+            "required": ["artifactLocation"],
+            "properties": {
+                "artifactLocation": {
+                    "type": "object",
+                    "required": ["uri"],
+                    "properties": {"uri": {"type": "string"}},
+                },
+                "region": {
+                    "type": "object",
+                    "properties": {
+                        "startLine": {"type": "integer", "minimum": 1},
+                    },
+                },
+            },
+        },
+        "message": {
+            "type": "object",
+            "required": ["text"],
+            "properties": {"text": {"type": "string"}},
+        },
+    },
+}
+
+#: The SARIF 2.1.0 subset ``repro check`` emits (types, required
+#: fields, and enums lifted from the published schema).
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"type": "string", "enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {
+                                                        "text": {
+                                                            "type": "string"
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "columnKind": {
+                        "type": "string",
+                        "enum": [
+                            "utf16CodeUnits",
+                            "unicodeCodePoints",
+                        ],
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "type": "string",
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"},
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": _LOCATION_SCHEMA,
+                                },
+                                "relatedLocations": {
+                                    "type": "array",
+                                    "items": _LOCATION_SCHEMA,
+                                },
+                                "partialFingerprints": {
+                                    "type": "object",
+                                    "additionalProperties": {
+                                        "type": "string"
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@pytest.fixture
+def result(check_tree):
+    return check_tree(FILES, rule_ids=["seed-lineage"])
+
+
+class TestValidatorIsNotVacuous:
+    def test_missing_version_fails(self):
+        assert validation_errors({"runs": []}, SARIF_SUBSET_SCHEMA)
+
+    def test_bad_level_enum_fails(self):
+        log = {
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {"name": "x"}},
+                "results": [
+                    {"message": {"text": "m"}, "level": "fatal"},
+                ],
+            }],
+        }
+        assert validation_errors(log, SARIF_SUBSET_SCHEMA)
+
+    def test_zero_start_line_fails(self):
+        location = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": "a.py"},
+                "region": {"startLine": 0},
+            }
+        }
+        assert validation_errors(location, _LOCATION_SCHEMA)
+
+
+class TestEmittedSarif:
+    def test_log_validates_against_the_subset_schema(self, result):
+        log = result.as_sarif()
+        assert validation_errors(log, SARIF_SUBSET_SCHEMA) == []
+
+    def test_render_round_trips_through_json(self, result):
+        assert json.loads(result.render_sarif()) == result.as_sarif()
+
+    def test_envelope_constants(self, result):
+        log = result.as_sarif()
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        assert log["runs"][0]["tool"]["driver"]["name"] == TOOL_NAME
+
+    def test_rules_metadata_lists_the_active_rules(self, result):
+        driver = result.as_sarif()["runs"][0]["tool"]["driver"]
+        assert [rule["id"] for rule in driver["rules"]] == ["seed-lineage"]
+
+    def test_results_carry_fingerprints_and_witnesses(self, result):
+        (finding,) = [
+            f for f in result.findings if "traces back" in f.message
+        ]
+        (sarif_result,) = [
+            entry
+            for entry in result.as_sarif()["runs"][0]["results"]
+            if entry["partialFingerprints"]["reproCheck/v1"]
+            == finding.fingerprint
+        ]
+        related = sarif_result["relatedLocations"]
+        assert [entry["message"]["text"] for entry in related] == [
+            step.note for step in finding.witness
+        ]
+        assert related, "witness finding must ship relatedLocations"

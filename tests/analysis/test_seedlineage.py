@@ -1,0 +1,269 @@
+"""``seed-lineage``: flag/no-flag fixtures and witness-path goldens."""
+
+from __future__ import annotations
+
+import pytest
+
+PKG = {"pkg/__init__.py": '"""Fixture package."""\n'}
+
+RULE = ["seed-lineage"]
+
+
+def findings(check_tree, files, **kwargs):
+    return check_tree({**PKG, **files}, rule_ids=RULE, **kwargs).findings
+
+
+class TestRawConstruction:
+    def test_raw_default_rng_is_flagged(self, check_tree):
+        found = findings(check_tree, {
+            "pkg/mod.py": '''\
+                """Mod."""
+
+                import numpy as np
+
+                def draw():
+                    """Draw."""
+                    return np.random.default_rng(7)
+            ''',
+        })
+        assert [f.rule for f in found] == ["seed-lineage"]
+        assert "outside the seed lineage" in found[0].message
+
+    def test_make_rng_is_sanctioned(self, check_tree):
+        assert not findings(check_tree, {
+            "pkg/mod.py": '''\
+                """Mod."""
+
+                from repro.rng import make_rng
+
+                def draw():
+                    """Draw."""
+                    return make_rng(7)
+            ''',
+        })
+
+    def test_pragma_suppresses(self, check_tree):
+        result = check_tree({**PKG, "pkg/mod.py": '''\
+            """Mod."""
+
+            import numpy as np
+
+            def draw():
+                """Draw."""
+                # repro: allow[seed-lineage] — fixture justification
+                return np.random.default_rng(7)
+        '''}, rule_ids=RULE)
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestInterproceduralTrace:
+    FILES = {
+        "pkg/mod.py": '''\
+            """Mod."""
+
+            import numpy as np
+
+            def draw():
+                """Draw."""
+                rng = np.random.default_rng(1234)
+                return helper(rng)
+
+            def helper(gen):
+                """Help."""
+                return gen.integers(0, 10)
+        ''',
+    }
+
+    def test_stochastic_use_traces_to_raw_constructor(self, check_tree):
+        found = findings(check_tree, self.FILES)
+        trace = [f for f in found if "traces back" in f.message]
+        assert len(trace) == 1
+        assert trace[0].line == 12
+
+    def test_witness_path_golden(self, check_tree):
+        """The full def-use + call chain is attached to the finding."""
+        (finding,) = [
+            f for f in findings(check_tree, self.FILES)
+            if "traces back" in f.message
+        ]
+        notes = [step.note for step in finding.witness]
+        assert notes == [
+            "produced by numpy.random.default_rng()",
+            "`rng` bound here",
+            "draw() passes `gen` to helper()",
+            "generator consumed by .integers() in helper()",
+        ]
+        assert [step.line for step in finding.witness] == [7, 7, 8, 12]
+
+    def test_unknown_lineage_degrades_silently(self, check_tree):
+        """A generator from an unresolvable caller is never flagged."""
+        assert not findings(check_tree, {
+            "pkg/mod.py": '''\
+                """Mod."""
+
+                def helper(gen):
+                    """Help — gen arrives from outside the project."""
+                    return gen.integers(0, 10)
+            ''',
+        })
+
+    def test_sanctioned_lineage_is_clean(self, check_tree):
+        assert not findings(check_tree, {
+            "pkg/mod.py": '''\
+                """Mod."""
+
+                from repro.rng import derive_rng
+
+                def draw(seed):
+                    """Draw."""
+                    rng = derive_rng(seed, "pkg", "draw")
+                    return helper(rng)
+
+                def helper(gen):
+                    """Help."""
+                    return gen.integers(0, 10)
+            ''',
+        })
+
+
+class TestPoolBoundary:
+    def test_generator_crossing_pool_is_flagged(self, check_tree):
+        found = findings(check_tree, {
+            "pkg/mod.py": '''\
+                """Mod."""
+
+                from repro.parallel.pool import parallel_map
+                from repro.rng import make_rng
+
+                def run(tasks):
+                    """Run."""
+                    rng = make_rng(0)
+                    return parallel_map(work, tasks, rng)
+
+                def work(task, rng):
+                    """Work."""
+                    return task
+            ''',
+        })
+        assert len(found) == 1
+        assert "crosses the parallel_map() task boundary" in found[0].message
+
+    def test_task_seeds_crossing_pool_is_clean(self, check_tree):
+        assert not findings(check_tree, {
+            "pkg/mod.py": '''\
+                """Mod."""
+
+                from repro.parallel.pool import parallel_map, task_seeds
+
+                def run(tasks, seed):
+                    """Run."""
+                    seeds = task_seeds(seed, len(tasks))
+                    return parallel_map(work, tasks, seeds)
+
+                def work(task, seed):
+                    """Work."""
+                    return task
+            ''',
+        })
+
+
+class TestSeedSource:
+    @pytest.mark.parametrize("expr", ["os.getpid()", "time.time_ns()"])
+    def test_volatile_seed_is_flagged(self, check_tree, expr):
+        found = findings(check_tree, {
+            "pkg/mod.py": f'''\
+                """Mod."""
+
+                import os
+                import time
+
+                from repro.rng import make_rng
+
+                def draw():
+                    """Draw."""
+                    return make_rng({expr})
+            ''',
+        })
+        assert len(found) == 1
+        assert "not a config value" in found[0].message
+
+    def test_config_seed_is_clean(self, check_tree):
+        assert not findings(check_tree, {
+            "pkg/mod.py": '''\
+                """Mod."""
+
+                from repro.rng import make_rng
+
+                def draw(config_seed):
+                    """Draw."""
+                    return make_rng(config_seed)
+            ''',
+        })
+
+
+class TestScopeReuse:
+    def test_reused_constant_scope_is_flagged_at_second_site(
+        self, check_tree
+    ):
+        found = findings(check_tree, {
+            "pkg/a.py": '''\
+                """A."""
+
+                from repro.rng import derive_rng
+
+                def first(seed):
+                    """First."""
+                    return derive_rng(seed, "stream", 1)
+            ''',
+            "pkg/b.py": '''\
+                """B."""
+
+                from repro.rng import derive_rng
+
+                def second(seed):
+                    """Second."""
+                    return derive_rng(seed, "stream", 1)
+            ''',
+        })
+        assert len(found) == 1
+        assert found[0].path == "pkg/b.py"
+        assert "already used at pkg/a.py:7" in found[0].message
+        # The witness names both derivation sites.
+        assert [s.path for s in found[0].witness] == [
+            "pkg/a.py", "pkg/b.py",
+        ]
+
+    def test_distinct_scopes_are_clean(self, check_tree):
+        assert not findings(check_tree, {
+            "pkg/a.py": '''\
+                """A."""
+
+                from repro.rng import derive_rng
+
+                def first(seed):
+                    """First."""
+                    return derive_rng(seed, "stream", 1)
+
+                def second(seed):
+                    """Second."""
+                    return derive_rng(seed, "stream", 2)
+            ''',
+        })
+
+    def test_dynamic_scope_components_are_not_compared(self, check_tree):
+        assert not findings(check_tree, {
+            "pkg/a.py": '''\
+                """A."""
+
+                from repro.rng import derive_rng
+
+                def stream(seed, task):
+                    """Per-task stream — dynamic component."""
+                    return derive_rng(seed, "task", task)
+
+                def other(seed, task):
+                    """Another per-task stream."""
+                    return derive_rng(seed, "task", task)
+            ''',
+        })

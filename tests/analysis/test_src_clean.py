@@ -25,3 +25,36 @@ def test_src_run_covers_the_whole_package():
     result = run_check([REPO_ROOT / "src"], root=REPO_ROOT)
     # A collapse of the file walk would pass the clean gate vacuously.
     assert result.files_checked > 50
+
+
+def test_scripts_and_benchmarks_clean_modulo_baseline():
+    """The auxiliary trees stay clean beyond the committed baseline.
+
+    ``check-baseline.json`` grandfathers the load generator's
+    intentionally-skewed stdlib sampling; anything *new* in scripts/ or
+    benchmarks/ must be fixed (or justified inline), never silently
+    accumulated.
+    """
+    result = run_check(
+        [REPO_ROOT / "scripts", REPO_ROOT / "benchmarks"],
+        root=REPO_ROOT,
+        baseline=REPO_ROOT / "check-baseline.json",
+    )
+    assert result.ok, "\n" + result.render_text()
+    assert result.files_checked > 15
+
+
+def test_committed_baseline_carries_no_dead_fingerprints():
+    """Every baselined fingerprint still matches a live finding.
+
+    A fixed finding must leave the baseline too, so the file never
+    grows stale entries that could mask a regression with the same
+    message elsewhere.
+    """
+    from repro.analysis import load_baseline
+
+    result = run_check(
+        [REPO_ROOT / "scripts", REPO_ROOT / "benchmarks"], root=REPO_ROOT
+    )
+    live = {finding.fingerprint for finding in result.findings}
+    assert load_baseline(REPO_ROOT / "check-baseline.json") <= live

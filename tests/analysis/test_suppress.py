@@ -1,0 +1,109 @@
+"""Span-aware pragma scoping regressions.
+
+The naive model — a pragma covers its own line and the next — breaks as
+soon as a decorator or a wrapped call pushes the flagged line away from
+the pragma. These tests pin the three span rules in
+:func:`repro.analysis.suppress.pragma_line_map`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.docs import DocstringRule
+from repro.analysis.suppress import allowed_rules
+
+PKG = {"pkg/__init__.py": '"""Fixture package."""\n'}
+
+
+class TestPragmaParsing:
+    def test_comma_separated_ids_and_justification(self):
+        line = "x = 1  # repro: allow[seed-lineage, dtype-tier] — why"
+        assert allowed_rules(line) == {"seed-lineage", "dtype-tier"}
+
+    def test_markdown_comment_form(self):
+        assert allowed_rules("<!-- repro: allow[links] -->") == {"links"}
+
+    def test_plain_comment_is_not_a_pragma(self):
+        assert allowed_rules("# allow[seed-lineage]") == set()
+
+
+class TestDecoratedDefSpan:
+    DECORATED = '''\
+        """Mod."""
+
+        def deco(fn):
+            """Deco."""
+            return fn
+
+        @deco
+        def helper():
+            return 1
+    '''
+
+    def test_finding_lands_on_the_def_line(self, check_tree):
+        """Control: the decorator separates pragma slot and def line."""
+        result = check_tree(
+            {**PKG, "pkg/mod.py": self.DECORATED},
+            rules=[DocstringRule(packages=("pkg",))],
+        )
+        (finding,) = result.findings
+        assert finding.line == 8  # two lines below the pragma slot
+
+    def test_pragma_above_decorator_covers_the_def_line(self, check_tree):
+        files = {**PKG, "pkg/mod.py": self.DECORATED.replace(
+            "@deco",
+            "# repro: allow[docstrings] — fixture justification\n"
+            "        @deco",
+        )}
+        result = check_tree(files, rules=[DocstringRule(packages=("pkg",))])
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestMultiLineStatementSpan:
+    WRAPPED = '''\
+        """Mod."""
+
+        import numpy as np
+
+        def draw():
+            """Draw."""
+            return np.random.default_rng(
+                1234,
+            ){pragma}
+    '''
+
+    def test_finding_lands_on_the_opening_line(self, check_tree):
+        result = check_tree(
+            {**PKG, "pkg/mod.py": self.WRAPPED.format(pragma="")},
+            rule_ids=["seed-lineage"],
+        )
+        (finding,) = result.findings
+        assert finding.line == 7  # two lines above the closing paren
+
+    def test_trailing_pragma_covers_the_whole_span(self, check_tree):
+        files = {**PKG, "pkg/mod.py": self.WRAPPED.format(
+            pragma="  # repro: allow[seed-lineage] — fixture justification"
+        )}
+        result = check_tree(files, rule_ids=["seed-lineage"])
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestCompoundBodyIsNotCovered:
+    def test_header_pragma_does_not_leak_into_the_body(self, check_tree):
+        """A def-header pragma must not silence findings inside it."""
+        result = check_tree({**PKG, "pkg/mod.py": '''\
+            """Mod."""
+
+            import numpy as np
+
+            # repro: allow[seed-lineage] — header only
+            def draw():
+                """Draw."""
+                value = 7
+                return np.random.default_rng(value)
+        '''}, rule_ids=["seed-lineage"])
+        assert not result.ok
+        assert result.suppressed == 0
+        (finding,) = result.findings
+        assert finding.line == 9
